@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+
+	"rslpa/internal/core"
+	"rslpa/internal/lfr"
+	"rslpa/internal/metrics"
+	"rslpa/internal/nmi"
+	"rslpa/internal/postprocess"
+	"rslpa/internal/slpa"
+)
+
+// lfrPoint evaluates both algorithms on one LFR parameterization and
+// returns the mean NMI over o.runs repetitions with distinct seeds.
+func lfrPoint(o options, p lfr.Params) (rscore, sscore float64) {
+	var rs, ss []float64
+	for run := 0; run < o.runs; run++ {
+		p.Seed = o.seed + uint64(run)*7919
+		res, err := lfr.Generate(p)
+		if err != nil {
+			fatal(err)
+		}
+		rs = append(rs, rslpaNMI(res, o.rslpaT, p.Seed+101))
+		ss = append(ss, slpaNMI(res, o.slpaT, p.Seed+202))
+	}
+	return metrics.Summarize(rs).Mean, metrics.Summarize(ss).Mean
+}
+
+func rslpaNMI(res *lfr.Result, T int, seed uint64) float64 {
+	st, err := core.Run(res.Graph, core.Config{T: T, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	pp, err := postprocess.Extract(st.Graph(), st.Labels, postprocess.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	return nmi.Compare(pp.Cover, res.Truth, res.Graph.NumVertices())
+}
+
+func slpaNMI(res *lfr.Result, T int, seed uint64) float64 {
+	sr, err := slpa.Run(res.Graph, slpa.Config{T: T, Tau: slpa.DefaultTau, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	return nmi.Compare(sr.Cover, res.Truth, res.Graph.NumVertices())
+}
+
+func runTable1(o options) {
+	p := lfr.Default(10000 / o.scale)
+	fmt.Println("Parameter  Description                                   Default")
+	fmt.Printf("N          number of vertices                            %d\n", p.N)
+	fmt.Printf("k          average degree                                %.0f\n", p.AvgDeg)
+	fmt.Printf("maxk       max degree                                    %d\n", p.MaxDeg)
+	fmt.Printf("mu         mixing parameter                              %.1f\n", p.Mu)
+	fmt.Printf("on         number of overlapping vertices                %d (0.1N)\n", p.On)
+	fmt.Printf("om         memberships of overlapping vertices           %d\n", p.Om)
+}
+
+// runFig7a reproduces the convergence study. Because each pick's random
+// stream depends only on (seed, vertex, iteration) — not on the configured
+// total T — the label state after t iterations of a long run equals a run
+// with T=t, so one propagation to T=1000 yields every prefix exactly.
+func runFig7a(o options) {
+	sizes := []int{10000 / o.scale, 20000 / o.scale, 50000 / o.scale}
+	ts := []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	fmt.Printf("%-8s", "T")
+	for _, n := range sizes {
+		fmt.Printf("  N=%-7d", n)
+	}
+	fmt.Println("   (paper: stable for T >= 200 at every N)")
+	results := make(map[int][]float64) // T -> scores per size
+	for _, n := range sizes {
+		p := lfr.Default(n)
+		var scores [][]float64 // per T, per run
+		for run := 0; run < o.runs; run++ {
+			p.Seed = o.seed + uint64(run)*7919
+			res, err := lfr.Generate(p)
+			if err != nil {
+				fatal(err)
+			}
+			st, err := core.Run(res.Graph, core.Config{T: ts[len(ts)-1], Seed: p.Seed + 101})
+			if err != nil {
+				fatal(err)
+			}
+			for i, T := range ts {
+				prefix := func(v uint32) []uint32 { return st.Labels(v)[:T+1] }
+				pp, err := postprocess.Extract(st.Graph(), prefix, postprocess.Config{})
+				if err != nil {
+					fatal(err)
+				}
+				score := nmi.Compare(pp.Cover, res.Truth, n)
+				if len(scores) <= i {
+					scores = append(scores, nil)
+				}
+				scores[i] = append(scores[i], score)
+			}
+		}
+		for i, T := range ts {
+			results[T] = append(results[T], metrics.Summarize(scores[i]).Mean)
+		}
+	}
+	for _, T := range ts {
+		fmt.Printf("%-8d", T)
+		for _, s := range results[T] {
+			fmt.Printf("  %-9.4f", s)
+		}
+		fmt.Println()
+	}
+}
+
+func runFig7b(o options) {
+	fmt.Printf("%-10s %-12s %-12s  (paper: both high and close, SLPA slightly ahead)\n", "N", "rSLPA NMI", "SLPA NMI")
+	for _, n := range []int{10000, 20000, 30000, 40000, 50000} {
+		p := lfr.Default(n / o.scale)
+		r, s := lfrPoint(o, p)
+		fmt.Printf("%-10d %-12.4f %-12.4f\n", p.N, r, s)
+	}
+}
+
+func runFig7c(o options) {
+	fmt.Printf("%-10s %-12s %-12s  (paper: rises with k, flat for k >= 50)\n", "k", "rSLPA NMI", "SLPA NMI")
+	for _, k := range []float64{10, 20, 30, 40, 50, 60, 70} {
+		p := lfr.Default(10000 / o.scale)
+		p.AvgDeg = k
+		if p.MaxDeg < int(2*k) {
+			p.MaxDeg = int(2 * k)
+		}
+		r, s := lfrPoint(o, p)
+		fmt.Printf("%-10.0f %-12.4f %-12.4f\n", k, r, s)
+	}
+}
+
+func runFig7d(o options) {
+	fmt.Printf("%-10s %-12s %-12s  (paper: SLPA flat; rSLPA high but drops slowly)\n", "mu", "rSLPA NMI", "SLPA NMI")
+	for _, mu := range []float64{0.10, 0.15, 0.20, 0.25, 0.30} {
+		p := lfr.Default(10000 / o.scale)
+		p.Mu = mu
+		r, s := lfrPoint(o, p)
+		fmt.Printf("%-10.2f %-12.4f %-12.4f\n", mu, r, s)
+	}
+}
+
+func runFig7e(o options) {
+	fmt.Printf("%-10s %-12s %-12s  (paper: both decrease; rSLPA better for om >= 3)\n", "om", "rSLPA NMI", "SLPA NMI")
+	for _, om := range []int{2, 3, 4, 5} {
+		p := lfr.Default(10000 / o.scale)
+		p.Om = om
+		r, s := lfrPoint(o, p)
+		fmt.Printf("%-10d %-12.4f %-12.4f\n", om, r, s)
+	}
+}
+
+func runFig7f(o options) {
+	fmt.Printf("%-10s %-12s %-12s  (paper: both decrease as overlap widens)\n", "on/N", "rSLPA NMI", "SLPA NMI")
+	for _, frac := range []float64{0.10, 0.15, 0.20, 0.25, 0.30} {
+		p := lfr.Default(10000 / o.scale)
+		p.On = int(frac * float64(p.N))
+		r, s := lfrPoint(o, p)
+		fmt.Printf("%-10.2f %-12.4f %-12.4f\n", frac, r, s)
+	}
+}
+
+func fatal(err error) {
+	panic(err)
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rslpa/internal/cluster"
+	"rslpa/internal/complexity"
+	"rslpa/internal/core"
+	"rslpa/internal/dist"
+	"rslpa/internal/dynamic"
+	"rslpa/internal/postprocess"
+	"rslpa/internal/slpa"
+	"rslpa/internal/webgraph"
+)
+
+func runTable2(o options) {
+	g, err := webgraph.Generate(webgraph.Default(o.webN))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("substitute for eu-2015-tpd (paper: 6,650,532 nodes, 170,145,510 edges, avg 25.584):")
+	fmt.Print(webgraph.TableII(g))
+}
+
+// runFig8 measures the static running time of both algorithms on the
+// distributed engine, split into label propagation and post-processing as
+// the paper does. Expected shape: rSLPA's label propagation is faster per
+// iteration (O(|V|) vs O(|E|) messages) and in total despite running 2x
+// the iterations; its post-processing is much slower than SLPA's trivial
+// thresholding; totals end up close, rSLPA slightly ahead.
+func runFig8(o options) {
+	g, err := webgraph.Generate(webgraph.Default(o.webN))
+	if err != nil {
+		fatal(err)
+	}
+	st := g.ComputeStats()
+	fmt.Printf("web graph: %d vertices, %d edges; %d workers, local transport\n",
+		st.Vertices, st.Edges, o.workers)
+
+	// SLPA on the engine.
+	engS, err := cluster.New(cluster.Config{Workers: o.workers})
+	if err != nil {
+		fatal(err)
+	}
+	defer engS.Close()
+	ds, err := dist.NewSLPA(engS, g, slpa.Config{T: o.slpaT, Tau: slpa.DefaultTau, Seed: o.seed})
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	if err := ds.Propagate(); err != nil {
+		fatal(err)
+	}
+	slpaProp := time.Since(t0)
+	t0 = time.Now()
+	slpaCover := slpa.ExtractCover(g, ds.Memories(), slpa.Config{T: o.slpaT, Tau: slpa.DefaultTau})
+	slpaPost := time.Since(t0)
+
+	// rSLPA on the engine.
+	engR, err := cluster.New(cluster.Config{Workers: o.workers})
+	if err != nil {
+		fatal(err)
+	}
+	defer engR.Close()
+	dr, err := dist.NewRSLPA(engR, g, core.Config{T: o.rslpaT, Seed: o.seed})
+	if err != nil {
+		fatal(err)
+	}
+	t0 = time.Now()
+	if err := dr.Propagate(); err != nil {
+		fatal(err)
+	}
+	rslpaProp := time.Since(t0)
+	t0 = time.Now()
+	rslpaPP, err := dist.Postprocess(engR, dr, postprocess.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	rslpaPost := time.Since(t0)
+
+	fmt.Printf("%-8s %-6s %-14s %-16s %-12s %s\n", "algo", "T", "label-prop", "post-processing", "total", "communities")
+	fmt.Printf("%-8s %-6d %-14v %-16v %-12v %d\n", "SLPA", o.slpaT,
+		slpaProp.Round(time.Millisecond), slpaPost.Round(time.Millisecond),
+		(slpaProp + slpaPost).Round(time.Millisecond), slpaCover.Len())
+	fmt.Printf("%-8s %-6d %-14v %-16v %-12v %d\n", "rSLPA", o.rslpaT,
+		rslpaProp.Round(time.Millisecond), rslpaPost.Round(time.Millisecond),
+		(rslpaProp + rslpaPost).Round(time.Millisecond), rslpaPP.Cover.Len())
+	perIterS := slpaProp / time.Duration(o.slpaT)
+	perIterR := rslpaProp / time.Duration(o.rslpaT)
+	fmt.Printf("per-iteration label-prop: SLPA %v, rSLPA %v (paper: SLPA > 5x rSLPA)\n",
+		perIterS.Round(time.Microsecond), perIterR.Round(time.Microsecond))
+}
+
+// runFig9 measures incremental updating vs recomputation from scratch
+// across edit batch sizes (half insertions, half deletions). Expected
+// shape: incremental time grows sublinearly with batch size and stays far
+// below from-scratch for all sizes the paper tests.
+func runFig9(o options) {
+	g, err := webgraph.Generate(webgraph.Default(o.webN))
+	if err != nil {
+		fatal(err)
+	}
+	stats := g.ComputeStats()
+	fmt.Printf("web graph: %d vertices, %d edges; sequential timing, T=%d\n",
+		stats.Vertices, stats.Edges, o.rslpaT)
+
+	base, err := core.Run(g, core.Config{T: o.rslpaT, Seed: o.seed})
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	scratchState, err := core.Run(g, core.Config{T: o.rslpaT, Seed: o.seed + 1})
+	if err != nil {
+		fatal(err)
+	}
+	_ = scratchState
+	scratch := time.Since(t0)
+
+	fmt.Printf("%-12s %-14s %-14s %-10s %-12s %s\n",
+		"batch", "incremental", "scratch", "speedup", "touched(η)", "predicted η̂")
+	for _, size := range []int{100, 500, 1000, 5000, 10000, 50000, 100000} {
+		if size/2 > g.NumEdges() {
+			fmt.Printf("%-12d (skipped: batch larger than graph)\n", size)
+			continue
+		}
+		// Fresh clone per batch size so edits do not accumulate.
+		stc := base.Clone()
+		batch, err := dynamic.Batch(stc.Graph(), size, o.seed+uint64(size))
+		if err != nil {
+			fatal(err)
+		}
+		t0 = time.Now()
+		us := stc.Update(batch)
+		inc := time.Since(t0)
+		model := complexity.Model{
+			V: stats.Vertices, E: stats.Edges, T: o.rslpaT,
+			Md: us.Deleted, Ma: us.Inserted,
+		}
+		fmt.Printf("%-12d %-14v %-14v %-10.1f %-12d %.0f\n",
+			size, inc.Round(time.Microsecond), scratch.Round(time.Millisecond),
+			float64(scratch)/float64(inc), us.Touched, model.EtaHat())
+	}
+	fmt.Println("(paper: incremental grows sublinearly with batch size)")
+}
+
+// runModel validates the Section IV-D complexity model: measured Touched
+// must land between the analytic bounds and near the expectation.
+func runModel(o options) {
+	g, err := webgraph.Generate(webgraph.Default(o.webN))
+	if err != nil {
+		fatal(err)
+	}
+	stats := g.ComputeStats()
+	base, err := core.Run(g, core.Config{T: o.rslpaT, Seed: o.seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %-10s %-14s %-14s %-14s %-14s %s\n",
+		"batch", "p_c", "lower", "expected η̂", "upper", "measured", "meas/η̂")
+	for _, size := range []int{100, 1000, 10000, 50000} {
+		stc := base.Clone()
+		batch, err := dynamic.Batch(stc.Graph(), size, o.seed+uint64(size)*3)
+		if err != nil {
+			fatal(err)
+		}
+		us := stc.Update(batch)
+		m := complexity.Model{V: stats.Vertices, E: stats.Edges, T: o.rslpaT, Md: us.Deleted, Ma: us.Inserted}
+		fmt.Printf("%-10d %-10.5f %-14.0f %-14.0f %-14.0f %-14d %.2f\n",
+			size, m.PC(), m.EtaLower(), m.EtaHat(), m.EtaUpper(),
+			us.Touched, float64(us.Touched)/m.EtaHat())
+	}
+	fmt.Println("(measured η must fall within [lower, upper]; the expectation assumes")
+	fmt.Println(" degree-uniform picks, so a ratio near 1 validates Equations 3-12)")
+}

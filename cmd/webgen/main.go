@@ -1,0 +1,46 @@
+// Command webgen generates the scale-free web-graph substitute for the
+// paper's eu-2015-tpd dataset and prints its Table II statistics.
+//
+// Usage:
+//
+//	webgen -n 200000 -d 13 -copy 0.6 -out web.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rslpa/internal/webgraph"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 200000, "number of pages (vertices)")
+		d    = flag.Int("d", 13, "links per new page")
+		copy = flag.Float64("copy", 0.6, "copy-model probability")
+		seed = flag.Uint64("seed", 1, "PRNG seed")
+		out  = flag.String("out", "", "edge list output file")
+	)
+	flag.Parse()
+
+	g, err := webgraph.Generate(webgraph.Params{N: *n, OutDegree: *d, CopyProb: *copy, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(webgraph.TableII(g))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := g.WriteEdgeList(f); err != nil {
+			fmt.Fprintln(os.Stderr, "webgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("edge list written to", *out)
+	}
+}

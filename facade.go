@@ -1,0 +1,73 @@
+package rslpa
+
+import (
+	"fmt"
+	"io"
+
+	"rslpa/internal/core"
+	"rslpa/internal/graph"
+	"rslpa/internal/nmi"
+)
+
+// This file extends the facade with the operational features a deployed
+// incremental-detection service needs: state checkpointing, in-process
+// parallel detection, weighted-network binarization, and the secondary
+// cover-agreement metrics.
+
+// ReadWeightedEdgeList parses a "u v w" edge list and binarizes it by
+// weight thresholding — the preprocessing the paper prescribes for applying
+// rSLPA to weighted networks. Two-field lines carry an implicit weight 1.
+func ReadWeightedEdgeList(r io.Reader, threshold float64) (*Graph, error) {
+	return graph.ReadWeightedEdgeList(r, threshold)
+}
+
+// DetectParallel is Detect with the label propagation fanned out across
+// CPU cores in-process (cores <= 0 selects GOMAXPROCS). The result is
+// bit-identical to sequential Detect for the same seed. Only sequential
+// (non-Workers) execution supports this mode; the returned Detector behaves
+// exactly like a sequential one (Update, Communities, Save all work).
+func DetectParallel(g *Graph, cfg Config, cores int) (*Detector, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers > 1 {
+		return nil, fmt.Errorf("rslpa: DetectParallel is in-process; use Config.Workers with Detect for the partitioned engine")
+	}
+	st, err := core.RunParallel(g, core.Config{T: cfg.T, Seed: cfg.Seed}, cores)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg, seq: st}, nil
+}
+
+// Save checkpoints a sequential detector's full state (graph, label
+// matrix, pick provenance) so a restarted process can resume incremental
+// maintenance without re-running propagation. Distributed detectors do not
+// support checkpointing yet; gather their state with Labels if needed.
+func (d *Detector) Save(w io.Writer) error {
+	if d.seq == nil {
+		return fmt.Errorf("rslpa: Save requires a sequential detector (Workers <= 1)")
+	}
+	return d.seq.Save(w)
+}
+
+// LoadDetector restores a detector from a Save checkpoint. The extraction
+// configuration (thresholds, metric) comes from cfg; T and Seed are taken
+// from the checkpoint.
+func LoadDetector(r io.Reader, cfg Config) (*Detector, error) {
+	st, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg.T = st.T()
+	cfg.Seed = st.Seed()
+	cfg.Workers = 0
+	return &Detector{cfg: cfg, seq: st}, nil
+}
+
+// Omega computes the Omega index between two covers — the overlapping
+// generalization of the Adjusted Rand Index, sensitive to how many
+// communities each vertex pair shares (which NMI is not).
+func Omega(a, b *Cover, n int) float64 { return nmi.Omega(a, b, n) }
+
+// AverageF1 computes the symmetric best-match average F1 between two
+// covers (Yang & Leskovec 2013).
+func AverageF1(a, b *Cover) float64 { return nmi.AverageF1(a, b) }

@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func transports(t *testing.T) []TransportKind {
+	t.Helper()
+	return []TransportKind{Local, TCP}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Workers: 0}); err == nil {
+		t.Fatal("want error for zero workers")
+	}
+	if _, err := New(Config{Workers: 2, Transport: TransportKind(9)}); err == nil {
+		t.Fatal("want error for unknown transport")
+	}
+}
+
+func TestPartitionerCoversAllWorkers(t *testing.T) {
+	p := Partitioner{P: 7}
+	seen := make(map[int]int)
+	for v := uint32(0); v < 10000; v++ {
+		o := p.Owner(v)
+		if o < 0 || o >= 7 {
+			t.Fatalf("owner %d out of range", o)
+		}
+		seen[o]++
+	}
+	for w := 0; w < 7; w++ {
+		if seen[w] < 10000/7/2 {
+			t.Fatalf("worker %d owns only %d vertices — unbalanced", w, seen[w])
+		}
+	}
+}
+
+// TestRingRelay passes a token around the workers once per round; after P
+// rounds it must be back at worker 0 incremented P times.
+func TestRingRelay(t *testing.T) {
+	for _, kind := range transports(t) {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			const p = 4
+			e, err := New(Config{Workers: p, Transport: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			var final uint32
+			_, err = e.Run(func(w, round int, inbox []Message, emit Emitter) (bool, error) {
+				if round == 0 {
+					if w == 0 {
+						emit(1, Message{Kind: 1, A: 1})
+					}
+					return false, nil
+				}
+				for _, m := range inbox {
+					if int(m.A) >= 3*p {
+						final = m.A
+						return false, nil // stop the relay
+					}
+					emit((w+1)%p, Message{Kind: 1, A: m.A + 1})
+				}
+				return false, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if final != 3*p {
+				t.Fatalf("token final value %d, want %d", final, 3*p)
+			}
+		})
+	}
+}
+
+// TestAllToAll floods every worker pair with distinct payloads and checks
+// exact delivery.
+func TestAllToAll(t *testing.T) {
+	for _, kind := range transports(t) {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			const p = 5
+			const perPair = 117
+			e, err := New(Config{Workers: p, Transport: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			got := make([]map[uint64]int, p)
+			for i := range got {
+				got[i] = make(map[uint64]int)
+			}
+			_, err = e.Run(func(w, round int, inbox []Message, emit Emitter) (bool, error) {
+				switch round {
+				case 0:
+					for to := 0; to < p; to++ {
+						for k := 0; k < perPair; k++ {
+							emit(to, Message{Kind: 7, A: uint32(w), B: uint32(k), C: 0xabcd, D: uint32(to)})
+						}
+					}
+					return false, nil
+				default:
+					for _, m := range inbox {
+						if m.Kind != 7 || m.C != 0xabcd || int(m.D) != w {
+							return false, fmt.Errorf("worker %d got corrupt message %+v", w, m)
+						}
+						got[w][uint64(m.A)<<32|uint64(m.B)]++
+					}
+					return false, nil
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < p; w++ {
+				if len(got[w]) != p*perPair {
+					t.Fatalf("worker %d received %d distinct messages, want %d", w, len(got[w]), p*perPair)
+				}
+				for k, n := range got[w] {
+					if n != 1 {
+						t.Fatalf("worker %d message %x delivered %d times", w, k, n)
+					}
+				}
+			}
+			stats := e.Stats()
+			if want := int64(p * p * perPair); stats.Messages != want {
+				t.Fatalf("stats.Messages = %d, want %d", stats.Messages, want)
+			}
+			if stats.Bytes != stats.Messages*WireSize {
+				t.Fatalf("stats.Bytes = %d, want %d", stats.Bytes, stats.Messages*WireSize)
+			}
+		})
+	}
+}
+
+// TestLargeFrames pushes enough data per round to overflow kernel socket
+// buffers, exercising the concurrent read/write paths of the TCP transport.
+func TestLargeFrames(t *testing.T) {
+	const p = 3
+	const perPair = 60000 // ~1 MB per pair per round
+	e, err := New(Config{Workers: p, Transport: TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var received [p]int
+	_, err = e.Run(func(w, round int, inbox []Message, emit Emitter) (bool, error) {
+		received[w] += len(inbox)
+		if round < 2 {
+			for to := 0; to < p; to++ {
+				if to == w {
+					continue
+				}
+				for k := 0; k < perPair; k++ {
+					emit(to, Message{Kind: 2, A: uint32(k)})
+				}
+			}
+			return false, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < p; w++ {
+		if want := 2 * (p - 1) * perPair; received[w] != want {
+			t.Fatalf("worker %d received %d, want %d", w, received[w], want)
+		}
+	}
+}
+
+func TestRunRounds(t *testing.T) {
+	e, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	count := 0
+	rounds, err := e.RunRounds(func(w, round int, inbox []Message, emit Emitter) (bool, error) {
+		if w == 0 {
+			count++
+		}
+		emit(1-w, Message{}) // keep traffic flowing; RunRounds must still stop
+		return true, nil
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 5 || count != 5 {
+		t.Fatalf("rounds=%d count=%d, want 5", rounds, count)
+	}
+}
+
+func TestStepErrorPropagates(t *testing.T) {
+	e, err := New(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	boom := errors.New("boom")
+	_, err = e.Run(func(w, round int, inbox []Message, emit Emitter) (bool, error) {
+		if w == 2 {
+			return false, boom
+		}
+		return false, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+}
+
+func TestAllReduceMin(t *testing.T) {
+	e, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	before := e.Stats()
+	got := e.AllReduceMin([]float64{3.5, -1.25, 7, 0})
+	if got != -1.25 {
+		t.Fatalf("min = %v", got)
+	}
+	d := e.Stats().Sub(before)
+	if d.Messages != 8 || d.Rounds != 2 {
+		t.Fatalf("allreduce charged %+v", d)
+	}
+}
+
+func TestMessageEncodeDecodeRoundTrip(t *testing.T) {
+	m := Message{Kind: 250, A: 1, B: 1 << 31, C: 0xffffffff, D: 42}
+	var buf [WireSize]byte
+	m.encode(buf[:])
+	if got := decodeMessage(buf[:]); got != m {
+		t.Fatalf("round trip %+v != %+v", got, m)
+	}
+}
+
+func TestSequentialModeMatchesParallel(t *testing.T) {
+	run := func(seq bool) []uint32 {
+		e, err := New(Config{Workers: 4, Sequential: seq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		sums := make([]uint32, 4)
+		_, err = e.Run(func(w, round int, inbox []Message, emit Emitter) (bool, error) {
+			for _, m := range inbox {
+				sums[w] += m.A
+			}
+			if round < 3 {
+				for to := 0; to < 4; to++ {
+					emit(to, Message{A: uint32(w*10 + round)})
+				}
+				return false, nil
+			}
+			return false, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+	a, b := run(true), run(false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("worker %d: sequential %d != parallel %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the number of partitions P (the paper uses a 7-node
+	// cluster; any P >= 1 works here).
+	Workers int
+	// Transport selects Local (default) or TCP.
+	Transport TransportKind
+	// Sequential forces single-goroutine execution of the compute phase,
+	// useful to make data races impossible in debugging; by default all
+	// workers compute concurrently.
+	Sequential bool
+}
+
+// Stats accumulates the communication costs the paper reasons about.
+type Stats struct {
+	Rounds   int64 // barrier-separated supersteps executed
+	Messages int64 // messages exchanged (including worker-local delivery)
+	Bytes    int64 // wire bytes (Messages × WireSize)
+}
+
+// Sub returns s - o, for measuring a phase delta.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Rounds: s.Rounds - o.Rounds, Messages: s.Messages - o.Messages, Bytes: s.Bytes - o.Bytes}
+}
+
+// Emitter queues a message for delivery to worker `to` at the next round.
+type Emitter func(to int, m Message)
+
+// StepFunc is one worker's compute for one superstep. inbox holds the
+// messages addressed to this worker in the previous round (order
+// unspecified). The worker emits next-round messages via emit and returns
+// whether it wants another round even without incoming messages.
+type StepFunc func(worker, round int, inbox []Message, emit Emitter) (active bool, err error)
+
+// Engine executes BSP supersteps over P workers. Create with New, run any
+// number of phases with Run or RunRounds, inspect Stats, then Close.
+type Engine struct {
+	cfg       Config
+	part      Partitioner
+	transport Transport
+	stats     Stats
+}
+
+// New creates an engine with cfg.Workers partitions and the selected
+// transport.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("cluster: workers=%d must be positive", cfg.Workers)
+	}
+	e := &Engine{cfg: cfg, part: Partitioner{P: cfg.Workers}}
+	switch cfg.Transport {
+	case Local:
+		e.transport = newLocalTransport(cfg.Workers)
+	case TCP:
+		t, err := newTCPTransport(cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		e.transport = t
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %v", cfg.Transport)
+	}
+	return e, nil
+}
+
+// Workers returns the partition count P.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Owner returns the worker owning vertex v.
+func (e *Engine) Owner(v uint32) int { return e.part.Owner(v) }
+
+// Stats returns the accumulated communication statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Close releases the transport.
+func (e *Engine) Close() error { return e.transport.Close() }
+
+// Run executes supersteps until no worker is active and no messages are in
+// flight. It returns the number of rounds executed.
+func (e *Engine) Run(step StepFunc) (int, error) {
+	return e.run(step, -1)
+}
+
+// RunRounds executes exactly n supersteps (messages emitted in the final
+// round are discarded; phases that need them should run one round more).
+func (e *Engine) RunRounds(step StepFunc, n int) (int, error) {
+	return e.run(step, n)
+}
+
+func (e *Engine) run(step StepFunc, maxRounds int) (int, error) {
+	p := e.cfg.Workers
+	inboxes := make([][]Message, p)
+	round := 0
+	for {
+		if maxRounds >= 0 && round >= maxRounds {
+			return round, nil
+		}
+		out := make([][][]Message, p)
+		active := make([]bool, p)
+		errs := make([]error, p)
+		compute := func(w int) {
+			boxes := make([][]Message, p)
+			out[w] = boxes
+			emit := func(to int, m Message) {
+				if to < 0 || to >= p {
+					panic(fmt.Sprintf("cluster: emit to worker %d of %d", to, p))
+				}
+				boxes[to] = append(boxes[to], m)
+			}
+			active[w], errs[w] = step(w, round, inboxes[w], emit)
+		}
+		if e.cfg.Sequential || p == 1 {
+			for w := 0; w < p; w++ {
+				compute(w)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < p; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					compute(w)
+				}()
+			}
+			wg.Wait()
+		}
+		for w := 0; w < p; w++ {
+			if errs[w] != nil {
+				return round, fmt.Errorf("cluster: worker %d round %d: %w", w, round, errs[w])
+			}
+		}
+
+		sent := int64(0)
+		for w := 0; w < p; w++ {
+			for to := 0; to < p; to++ {
+				sent += int64(len(out[w][to]))
+			}
+		}
+		e.stats.Rounds++
+		e.stats.Messages += sent
+		e.stats.Bytes += sent * WireSize
+		round++
+
+		anyActive := false
+		for _, a := range active {
+			anyActive = anyActive || a
+		}
+		if sent == 0 && !anyActive {
+			return round, nil
+		}
+
+		in, err := e.transport.Exchange(out)
+		if err != nil {
+			return round, err
+		}
+		inboxes = in
+	}
+}
+
+// AllReduceMin performs a global minimum over one float64 per worker,
+// modelling the aggregation tree a real cluster would use: every worker
+// sends its value to worker 0, which reduces and broadcasts back. The 2P
+// messages and 2 rounds are charged to the engine's stats.
+func (e *Engine) AllReduceMin(vals []float64) float64 {
+	p := e.cfg.Workers
+	min := vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	e.stats.Rounds += 2
+	e.stats.Messages += int64(2 * p)
+	e.stats.Bytes += int64(2*p) * 8
+	return min
+}

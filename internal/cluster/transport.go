@@ -1,0 +1,64 @@
+package cluster
+
+import "fmt"
+
+// Transport moves one superstep's messages between workers. Exchange is
+// called once per round with out[from][to] batches and must return
+// in[to] — the concatenation (in any order) of every batch destined to
+// worker `to`. Implementations own the synchronization; when Exchange
+// returns, the barrier has been passed.
+type Transport interface {
+	Exchange(out [][][]Message) (in [][]Message, err error)
+	Close() error
+}
+
+// TransportKind selects a transport implementation.
+type TransportKind uint8
+
+const (
+	// Local exchanges messages in memory (default).
+	Local TransportKind = iota
+	// TCP exchanges messages over loopback TCP connections.
+	TCP
+)
+
+// String names the transport kind.
+func (k TransportKind) String() string {
+	switch k {
+	case Local:
+		return "local"
+	case TCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", k)
+	}
+}
+
+// localTransport delivers batches by slice regrouping; no copying of
+// message payloads.
+type localTransport struct {
+	p int
+}
+
+func newLocalTransport(p int) *localTransport { return &localTransport{p: p} }
+
+func (t *localTransport) Exchange(out [][][]Message) ([][]Message, error) {
+	in := make([][]Message, t.p)
+	for to := 0; to < t.p; to++ {
+		total := 0
+		for from := 0; from < t.p; from++ {
+			total += len(out[from][to])
+		}
+		if total == 0 {
+			continue
+		}
+		buf := make([]Message, 0, total)
+		for from := 0; from < t.p; from++ {
+			buf = append(buf, out[from][to]...)
+		}
+		in[to] = buf
+	}
+	return in, nil
+}
+
+func (t *localTransport) Close() error { return nil }

@@ -1,0 +1,123 @@
+// Package complexity implements the analytic cost model of the Correction
+// Propagation algorithm (paper Section IV-D): the probability that a single
+// edit batch forces a label to be re-examined, the expected number η̂ of
+// labels needing updates (Equation 8), and the best/worst-case bounds
+// (Equations 10 and 12). The benchmarks compare these predictions against
+// the Touched counter reported by core.State.Update.
+package complexity
+
+import "fmt"
+
+// Model captures one update scenario: a graph with V vertices and E edges
+// run for T iterations, hit by a batch deleting Md and inserting Ma edges
+// chosen uniformly at random.
+type Model struct {
+	V, E int
+	T    int
+	Md   int // deleted edges
+	Ma   int // inserted edges
+}
+
+// Validate checks the scenario for consistency.
+func (m Model) Validate() error {
+	switch {
+	case m.V <= 0 || m.E <= 0 || m.T <= 0:
+		return fmt.Errorf("complexity: V=%d E=%d T=%d must be positive", m.V, m.E, m.T)
+	case m.Md < 0 || m.Ma < 0:
+		return fmt.Errorf("complexity: negative edit counts md=%d ma=%d", m.Md, m.Ma)
+	case m.Md > m.E:
+		return fmt.Errorf("complexity: md=%d exceeds E=%d", m.Md, m.E)
+	}
+	return nil
+}
+
+// PC is Equation 3: the probability that the edge behind a single label
+// pick is invalidated — deleted outright, or (surviving deletion) switched
+// to one of the newly inserted edges by the Theorem 5 coin.
+//
+//	p_c = md/|E| + (1 - md/|E|) · (1 - (|E|-md) / (|E|-md+ma))
+//
+// (The paper's expression writes the second factor as n_u/(n_u+n_a) with
+// n_u = (|E|-md)/|V| and n_a = ma/|V|; the |V| cancels.)
+func (m Model) PC() float64 {
+	e := float64(m.E)
+	md := float64(m.Md)
+	ma := float64(m.Ma)
+	pDel := md / e
+	keep := (e - md) / (e - md + ma)
+	return pDel + (1-pDel)*(1-keep)
+}
+
+// Q returns Q(t), the probability that a label picked at iteration t needs
+// no update (Equation 7):
+//
+//	Q(t) = Π_{k=1..t} (1 - p_c/k)
+func (m Model) Q(t int) float64 {
+	pc := m.PC()
+	q := 1.0
+	for k := 1; k <= t; k++ {
+		q *= 1 - pc/float64(k)
+	}
+	return q
+}
+
+// P returns P(t) = 1 - Q(t), the expected probability that a label picked
+// at iteration t must be updated.
+func (m Model) P(t int) float64 { return 1 - m.Q(t) }
+
+// EtaHat is Equation 8: the expected number of labels needing updates,
+//
+//	η̂ = T·|V| - |V| · Σ_{t=1..T} Q(t).
+func (m Model) EtaHat() float64 {
+	pc := m.PC()
+	sum := 0.0
+	q := 1.0
+	for t := 1; t <= m.T; t++ {
+		q *= 1 - pc/float64(t)
+		sum += q
+	}
+	return float64(m.T)*float64(m.V) - float64(m.V)*sum
+}
+
+// EtaLower is Equation 10, the best case (every pick takes an initial
+// label, so every propagation path has length 1):
+//
+//	η ≥ T·|V|·p_c
+func (m Model) EtaLower() float64 {
+	return float64(m.T) * float64(m.V) * m.PC()
+}
+
+// EtaUpper is Equation 12, the worst case (every pick at iteration t reads
+// iteration t-1, so paths have maximal length):
+//
+//	η ≤ T·|V| - |V| · (1-p_c - (1-p_c)^{T+1}) / p_c
+func (m Model) EtaUpper() float64 {
+	pc := m.PC()
+	if pc == 0 {
+		return 0
+	}
+	geom := (1 - pc - pow(1-pc, m.T+1)) / pc
+	return float64(m.T)*float64(m.V) - float64(m.V)*geom
+}
+
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			r *= x
+		}
+		x *= x
+	}
+	return r
+}
+
+// Speedup estimates the expected advantage of incremental updating over
+// recomputation from scratch: the from-scratch run picks T·|V| labels,
+// while correction propagation touches η̂.
+func (m Model) Speedup() float64 {
+	eta := m.EtaHat()
+	if eta == 0 {
+		return float64(m.T) * float64(m.V)
+	}
+	return float64(m.T) * float64(m.V) / eta
+}

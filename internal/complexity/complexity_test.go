@@ -1,0 +1,178 @@
+package complexity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rslpa/internal/core"
+	"rslpa/internal/dynamic"
+	"rslpa/internal/graph"
+	"rslpa/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	ok := Model{V: 100, E: 300, T: 50, Md: 10, Ma: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{V: 0, E: 1, T: 1},
+		{V: 1, E: 1, T: 0},
+		{V: 1, E: 1, T: 1, Md: -1},
+		{V: 1, E: 5, T: 1, Md: 6},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestPCNoEdits(t *testing.T) {
+	m := Model{V: 100, E: 500, T: 50}
+	if pc := m.PC(); pc != 0 {
+		t.Fatalf("pc with no edits = %v", pc)
+	}
+	if eta := m.EtaHat(); eta != 0 {
+		t.Fatalf("eta with no edits = %v", eta)
+	}
+}
+
+func TestPCDeleteAll(t *testing.T) {
+	m := Model{V: 100, E: 500, T: 50, Md: 500}
+	if pc := m.PC(); math.Abs(pc-1) > 1e-12 {
+		t.Fatalf("pc deleting everything = %v", pc)
+	}
+}
+
+func TestPCEquation3(t *testing.T) {
+	// Hand-computed example: E=100, md=10, ma=10:
+	// pc = 0.1 + 0.9·(1 - 90/100) = 0.1 + 0.09 = 0.19.
+	m := Model{V: 10, E: 100, T: 10, Md: 10, Ma: 10}
+	if pc := m.PC(); math.Abs(pc-0.19) > 1e-12 {
+		t.Fatalf("pc = %v, want 0.19", pc)
+	}
+}
+
+func TestQMonotone(t *testing.T) {
+	m := Model{V: 100, E: 1000, T: 100, Md: 50, Ma: 50}
+	prev := 1.0
+	for tt := 1; tt <= m.T; tt++ {
+		q := m.Q(tt)
+		if q > prev+1e-12 {
+			t.Fatalf("Q(%d)=%v > Q(%d)=%v — must be non-increasing", tt, q, tt-1, prev)
+		}
+		if q < 0 || q > 1 {
+			t.Fatalf("Q(%d)=%v outside [0,1]", tt, q)
+		}
+		prev = q
+	}
+}
+
+func TestQRecursionEquation6(t *testing.T) {
+	m := Model{V: 10, E: 200, T: 20, Md: 8, Ma: 4}
+	pc := m.PC()
+	for tt := 2; tt <= m.T; tt++ {
+		want := (1 - pc/float64(tt)) * m.Q(tt-1)
+		if got := m.Q(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Q(%d)=%v violates recursion (want %v)", tt, got, want)
+		}
+	}
+}
+
+func TestBoundsOrdering(t *testing.T) {
+	check := func(eRaw, mdRaw, maRaw uint16) bool {
+		e := int(eRaw%5000) + 100
+		md := int(mdRaw) % (e / 2)
+		ma := int(maRaw) % (e / 2)
+		m := Model{V: 1000, E: e, T: 100, Md: md, Ma: ma}
+		lower, eta, upper := m.EtaLower(), m.EtaHat(), m.EtaUpper()
+		return lower <= eta+1e-6 && eta <= upper+1e-6 &&
+			lower >= 0 && upper <= float64(m.T)*float64(m.V)+1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEtaGrowsWithEdits(t *testing.T) {
+	base := Model{V: 1000, E: 10000, T: 100}
+	prev := -1.0
+	for _, edits := range []int{10, 100, 1000, 5000} {
+		m := base
+		m.Md, m.Ma = edits/2, edits/2
+		eta := m.EtaHat()
+		if eta <= prev {
+			t.Fatalf("eta(%d)=%v not increasing", edits, eta)
+		}
+		prev = eta
+	}
+}
+
+func TestEtaSublinearInBatchSize(t *testing.T) {
+	// The paper's Figure 9 claim: doubling the batch should less than
+	// double the update volume once batches are non-trivial.
+	base := Model{V: 10000, E: 100000, T: 200}
+	etaAt := func(edits int) float64 {
+		m := base
+		m.Md, m.Ma = edits/2, edits/2
+		return m.EtaHat()
+	}
+	if ratio := etaAt(20000) / etaAt(10000); ratio >= 2 {
+		t.Fatalf("eta ratio %v not sublinear", ratio)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	m := Model{V: 1000, E: 10000, T: 100, Md: 5, Ma: 5}
+	s := m.Speedup()
+	if s <= 1 {
+		t.Fatalf("tiny batch speedup %v should be large", s)
+	}
+	zero := Model{V: 10, E: 10, T: 10}
+	if zero.Speedup() != 100 {
+		t.Fatalf("no-edit speedup = %v (total work)", zero.Speedup())
+	}
+}
+
+// TestModelPredictsMeasured is the empirical validation: the measured
+// Touched count from core.Update must land within the analytic bounds and
+// near η̂ on a random graph (where the model's degree-uniform assumption
+// holds best).
+func TestModelPredictsMeasured(t *testing.T) {
+	r := rng.New(17)
+	g := graph.New()
+	const n, e = 2000, 10000
+	for i := 0; i < n; i++ {
+		g.AddVertex(uint32(i))
+	}
+	for g.NumEdges() < e {
+		u, v := uint32(r.Intn(n)), uint32(r.Intn(n))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	const T = 50
+	st, err := core.Run(g, core.Config{T: T, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{100, 1000, 4000} {
+		clone := st.Clone()
+		batch, err := dynamic.Batch(clone.Graph(), size, uint64(size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		us := clone.Update(batch)
+		m := Model{V: n, E: e, T: T, Md: us.Deleted, Ma: us.Inserted}
+		lower, eta, upper := m.EtaLower(), m.EtaHat(), m.EtaUpper()
+		got := float64(us.Touched)
+		if got < lower*0.9 || got > upper*1.1 {
+			t.Fatalf("batch %d: measured %v outside bounds [%v, %v]", size, got, lower, upper)
+		}
+		if got < eta*0.7 || got > eta*1.3 {
+			t.Fatalf("batch %d: measured %v far from expectation %v", size, got, eta)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rslpa/internal/graph"
+)
+
+// RunParallel executes Algorithm 1 with the level loop parallelized across
+// CPU cores (workers <= 0 selects GOMAXPROCS). Because every pick's random
+// stream depends only on (seed, vertex, iteration) and reads only labels
+// from earlier iterations, vertices within one level are embarrassingly
+// parallel — the result is bit-identical to Run, which a test asserts.
+//
+// This is in-process parallelism for a single machine, distinct from the
+// partitioned message-passing execution in internal/dist: no messages are
+// exchanged, the full state is shared, and only the per-level compute is
+// fanned out. The records are accumulated per worker and merged at the end
+// of each level so no locking appears on the hot path.
+func RunParallel(g *graph.Graph, cfg Config, workers int) (*State, error) {
+	if cfg.T <= 0 {
+		return nil, fmt.Errorf("core: config T=%d must be positive", cfg.T)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &State{cfg: cfg, g: g.Clone()}
+	n := s.g.MaxVertexID()
+	s.labels = make([][]uint32, n)
+	s.src = make([][]int32, n)
+	s.pos = make([][]int32, n)
+	s.recv = make([][]Record, n)
+	vertices := s.g.Vertices()
+	for _, v := range vertices {
+		s.initVertex(v)
+	}
+	if len(vertices) == 0 {
+		return s, nil
+	}
+
+	// Pre-split the vertex list into contiguous shards, one per worker.
+	shards := make([][]uint32, 0, workers)
+	per := (len(vertices) + workers - 1) / workers
+	for off := 0; off < len(vertices); off += per {
+		end := off + per
+		if end > len(vertices) {
+			end = len(vertices)
+		}
+		shards = append(shards, vertices[off:end])
+	}
+
+	type pick struct {
+		v   uint32
+		src uint32
+		pos int32
+	}
+	picks := make([][]pick, len(shards))
+	var wg sync.WaitGroup
+	for t := 1; t <= cfg.T; t++ {
+		for si, shard := range shards {
+			si, shard := si, shard
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out := picks[si][:0]
+				for _, v := range shard {
+					stream := s.pickStream(0, v, t)
+					src, pos := s.drawPick(&stream, v, t)
+					out = append(out, pick{v: v, src: src, pos: pos})
+				}
+				picks[si] = out
+			}()
+		}
+		wg.Wait()
+		// Serial merge: install picks (writes labels[v][t], the records at
+		// sources, and src/pos) — cheap relative to the draws, and gives
+		// the exact same record multiset as the sequential Run.
+		for _, out := range picks {
+			for _, p := range out {
+				s.install(p.v, int32(t), p.src, p.pos)
+			}
+		}
+	}
+	return s, nil
+}

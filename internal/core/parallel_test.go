@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"rslpa/internal/graph"
+)
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	g := randomGraph(300, 900, 41)
+	cfg := Config{T: 30, Seed: 13}
+	seq := mustRun(t, g, cfg)
+	for _, workers := range []int{1, 2, 3, 8} {
+		par, err := RunParallel(g, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.EqualLabels(par) {
+			t.Fatalf("workers=%d: parallel result differs from sequential", workers)
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestRunParallelDefaults(t *testing.T) {
+	g := ring(20)
+	par, err := RunParallel(g, Config{T: 10, Seed: 1}, 0) // 0 = GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelRejectsBadConfig(t *testing.T) {
+	if _, err := RunParallel(ring(4), Config{T: 0}, 2); err == nil {
+		t.Fatal("T=0 accepted")
+	}
+}
+
+func TestRunParallelEmptyGraph(t *testing.T) {
+	par, err := RunParallel(graph.New(), Config{T: 5, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Graph().NumVertices() != 0 {
+		t.Fatal("vertices appeared from nowhere")
+	}
+}
+
+func TestRunParallelUpdatable(t *testing.T) {
+	g := randomGraph(100, 250, 3)
+	par, err := RunParallel(g, Config{T: 20, Seed: 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Update([]graph.Edit{{Op: graph.Insert, U: 0, V: 99}})
+	if err := par.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

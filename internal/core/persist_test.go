@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rslpa/internal/graph"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := randomGraph(150, 400, 31)
+	orig := mustRun(t, g, Config{T: 25, Seed: 77})
+	orig.Update([]graph.Edit{{Op: graph.Insert, U: 0, V: 149}})
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatalf("loaded state invalid: %v", err)
+	}
+	if loaded.T() != orig.T() || loaded.Seed() != orig.Seed() || loaded.Epoch() != orig.Epoch() {
+		t.Fatal("config/epoch lost")
+	}
+	if !loaded.Graph().Equal(orig.Graph()) {
+		t.Fatal("graph lost")
+	}
+	g.ForEachVertex(func(v uint32) {
+		a, b := orig.Labels(v), loaded.Labels(v)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d iter %d: %d vs %d", v, i, a[i], b[i])
+			}
+		}
+		for tt := 1; tt <= orig.T(); tt++ {
+			s1, p1, ok1 := orig.Pick(v, tt)
+			s2, p2, ok2 := loaded.Pick(v, tt)
+			if ok1 != ok2 || s1 != s2 || p1 != p2 {
+				t.Fatalf("vertex %d iter %d: picks differ", v, tt)
+			}
+		}
+	})
+}
+
+func TestLoadedStateUpdatable(t *testing.T) {
+	g := randomGraph(80, 200, 17)
+	orig := mustRun(t, g, Config{T: 15, Seed: 5})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded.Update([]graph.Edit{
+		{Op: graph.Insert, U: 1, V: 79},
+		{Op: graph.Delete, U: 0, V: loaded.Graph().Neighbors(0)[0]},
+	})
+	if err := loaded.Validate(); err != nil {
+		t.Fatalf("update after load: %v", err)
+	}
+}
+
+func TestSaveLoadWithSentinels(t *testing.T) {
+	// A fresh isolated vertex keeps -1 sentinels; they must survive.
+	g := graph.New()
+	g.AddEdge(0, 1)
+	st := mustRun(t, g, Config{T: 8, Seed: 2})
+	st.AddVertex(5)
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := loaded.Pick(5, 3); ok {
+		t.Fatal("sentinel pick resurrected")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"XXXXXXX",
+		"RSLPA1\n", // truncated header
+	}
+	for _, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Fatalf("garbage %q accepted", in)
+		}
+	}
+}
+
+func TestLoadRejectsTruncatedBody(t *testing.T) {
+	g := randomGraph(30, 60, 3)
+	st := mustRun(t, g, Config{T: 10, Seed: 1})
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 3, len(full) - 5} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptSource(t *testing.T) {
+	// Flip bytes until Load either rejects the stream or produces a state
+	// that still validates (a flipped label value is legal data); what
+	// must never happen is an inconsistent state passing Validate... so
+	// assert: Load error OR Validate error OR fully consistent equal-shape
+	// state.
+	g := randomGraph(20, 40, 9)
+	st := mustRun(t, g, Config{T: 6, Seed: 4})
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for off := len(persistMagic) + 40; off < len(full); off += 97 {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0xff
+		loaded, err := Load(bytes.NewReader(mut))
+		if err != nil {
+			continue // rejected: good
+		}
+		// Accepted: the state must at least be structurally sound enough
+		// that Validate gives a definite verdict without panicking.
+		_ = loaded.Validate()
+	}
+}

@@ -1,0 +1,249 @@
+// Package core implements rSLPA, the paper's primary contribution: the
+// randomized Speaker-Listener Label Propagation Algorithm of Section III
+// (Algorithm 1) together with the incremental Correction Propagation
+// algorithm of Section IV (Algorithm 2).
+//
+// # The randomized propagation model
+//
+// After T iterations every vertex v holds a label sequence
+// L_v = (l⁰_v, …, l^T_v) with l⁰_v = v. For t ≥ 1, the label l^t_v is
+// obtained by uniformly picking a source neighbor src ∈ N(v) and a position
+// pos ∈ [0, t), and copying l^pos_src (Theorems 2 and 3 show this is
+// equivalent to SLPA's "speaker" step followed by uniform — rather than
+// plurality — selection). The package stores the full choice, not just the
+// value:
+//
+//	labels[v][t] == labels[src[v][t]][pos[v][t]]
+//
+// which is the invariant that makes the result *trackable* under graph
+// updates. Reverse records R (one per picked label) let a changed label
+// notify exactly the labels that copied it.
+//
+// # Incremental maintenance
+//
+// Update applies a batch of edge insertions/deletions and repairs the label
+// matrix so that its distribution is exactly what a from-scratch run on the
+// new graph would produce. Per Section IV-A, a pick survives if its source
+// can still be treated as uniformly chosen from the *current* neighbor set:
+// sources over deleted edges are re-picked (Category 2 / Theorem 4), and
+// when neighbors were added the pick is kept only with probability
+// n_u/(n_u+n_a), otherwise re-picked among the new neighbors (Category 3 /
+// Theorem 5). Value changes then cascade along the records (Section IV-B).
+//
+// # Determinism
+//
+// Every random decision is drawn from a stream derived from
+// (seed, epoch, vertex, iteration), so results are reproducible and
+// independent of partitioning — the distributed driver in internal/dist
+// produces bit-identical label matrices.
+//
+// Isolated vertices (the paper leaves them undefined) use the effective
+// neighbor set N_eff(v) = N(v) when non-empty, else {v}: a vertex with no
+// neighbors keeps talking to itself and its sequence collapses to its own
+// label, which is what the post-processing expects.
+package core
+
+import (
+	"fmt"
+
+	"rslpa/internal/graph"
+	"rslpa/internal/rng"
+)
+
+// Config configures a propagation run.
+type Config struct {
+	// T is the number of label propagation iterations. The paper uses
+	// T=200 for rSLPA (Figure 7a shows convergence for T >= 200).
+	T int
+	// Seed drives all randomness; identical Config + graph => identical
+	// result.
+	Seed uint64
+}
+
+// DefaultT is the iteration count the paper settles on for rSLPA.
+const DefaultT = 200
+
+// Record is a reverse edge of the label propagation forest: it lives at the
+// *source* vertex and says "receiver Tar picked my label at position Pos to
+// be its label for iteration Iter" (the set R^Pos in Section IV-B).
+type Record struct {
+	Pos  int32  // position of the picked label at the source
+	Tar  uint32 // receiving vertex
+	Iter int32  // iteration at which Tar picked it (always > Pos)
+}
+
+// State is the complete, updatable result of a propagation run: the label
+// matrix, the (src, pos) choices behind it, the reverse records, and the
+// graph it was computed on. Create one with Run; evolve it with Update.
+// A State is not safe for concurrent mutation.
+type State struct {
+	cfg Config
+	g   *graph.Graph
+
+	labels [][]uint32 // labels[v][0..T]; nil for never-seen vertex IDs
+	src    [][]int32  // src[v][t]; -1 = no recorded pick (fresh vertex)
+	pos    [][]int32  // pos[v][t]; parallel to src
+	recv   [][]Record // records stored at the source vertex
+
+	epoch uint64 // update-batch counter, part of repick stream derivation
+}
+
+// Run executes Algorithm 1 on g and returns the resulting State. The graph
+// is cloned; later mutations of g do not affect the State (feed them through
+// Update instead).
+func Run(g *graph.Graph, cfg Config) (*State, error) {
+	if cfg.T <= 0 {
+		return nil, fmt.Errorf("core: config T=%d must be positive", cfg.T)
+	}
+	s := &State{cfg: cfg, g: g.Clone()}
+	n := s.g.MaxVertexID()
+	s.labels = make([][]uint32, n)
+	s.src = make([][]int32, n)
+	s.pos = make([][]int32, n)
+	s.recv = make([][]Record, n)
+	s.g.ForEachVertex(func(v uint32) { s.initVertex(v) })
+
+	// Label propagation: T synchronous iterations. Every pick reads only
+	// labels from iterations < t, so a single in-order sweep per level is
+	// exactly the BSP computation of Algorithm 1.
+	for t := 1; t <= cfg.T; t++ {
+		s.g.ForEachVertex(func(v uint32) {
+			stream := s.pickStream(0, v, t)
+			src, pos := s.drawPick(&stream, v, t)
+			s.install(v, int32(t), src, pos)
+		})
+	}
+	return s, nil
+}
+
+// initVertex allocates the per-vertex arrays with the initial label
+// l⁰_v = v and sentinel picks.
+func (s *State) initVertex(v uint32) {
+	t := s.cfg.T
+	labels := make([]uint32, t+1)
+	srcs := make([]int32, t+1)
+	poss := make([]int32, t+1)
+	for i := range labels {
+		labels[i] = v
+		srcs[i] = -1
+		poss[i] = -1
+	}
+	s.labels[v] = labels
+	s.src[v] = srcs
+	s.pos[v] = poss
+}
+
+// pickStream derives the deterministic random stream for the pick of vertex
+// v at iteration t during update epoch e (e=0 is the initial run).
+func (s *State) pickStream(e uint64, v uint32, t int) rng.Stream {
+	return rng.StreamOf(s.cfg.Seed, e, uint64(v), uint64(t))
+}
+
+// drawPick uniformly draws (src, pos) for vertex v at iteration t from its
+// effective neighbor set.
+func (s *State) drawPick(stream *rng.Stream, v uint32, t int) (src uint32, pos int32) {
+	nbrs := s.g.Neighbors(v)
+	if len(nbrs) == 0 {
+		src = v // effective neighbor set {v}
+	} else {
+		src = nbrs[stream.Intn(len(nbrs))]
+	}
+	pos = int32(stream.Intn(t))
+	return src, pos
+}
+
+// drawFrom uniformly draws a source from an explicit candidate set and a
+// fresh position.
+func drawFrom(stream *rng.Stream, candidates []uint32, t int32) (src uint32, pos int32) {
+	src = candidates[stream.Intn(len(candidates))]
+	pos = int32(stream.Intn(int(t)))
+	return src, pos
+}
+
+// install sets vertex v's pick for iteration t to (src, pos), copying the
+// label value and appending the reverse record at the source.
+func (s *State) install(v uint32, t int32, src uint32, pos int32) {
+	s.labels[v][t] = s.labels[src][pos]
+	s.src[v][t] = int32(src)
+	s.pos[v][t] = pos
+	s.recv[src] = append(s.recv[src], Record{Pos: pos, Tar: v, Iter: t})
+}
+
+// dropRecord removes the record {pos, v, t} from source vertex src's list.
+// It is a no-op if the record is absent (fresh-vertex sentinels).
+func (s *State) dropRecord(src uint32, pos int32, v uint32, t int32) {
+	list := s.recv[src]
+	for i, rec := range list {
+		if rec.Pos == pos && rec.Tar == v && rec.Iter == t {
+			last := len(list) - 1
+			list[i] = list[last]
+			s.recv[src] = list[:last]
+			return
+		}
+	}
+}
+
+// T returns the configured iteration count.
+func (s *State) T() int { return s.cfg.T }
+
+// Seed returns the configured seed.
+func (s *State) Seed() uint64 { return s.cfg.Seed }
+
+// Epoch returns the number of Update batches applied so far.
+func (s *State) Epoch() uint64 { return s.epoch }
+
+// Graph returns the State's current graph. The caller must not mutate it;
+// use Update.
+func (s *State) Graph() *graph.Graph { return s.g }
+
+// Labels returns vertex v's label sequence (length T+1). The slice is owned
+// by the State; callers must not mutate it. It returns nil for vertices not
+// in the graph.
+func (s *State) Labels(v uint32) []uint32 {
+	if int(v) >= len(s.labels) || !s.g.HasVertex(v) {
+		return nil
+	}
+	return s.labels[v]
+}
+
+// Pick returns the recorded (src, pos) choice behind vertex v's label at
+// iteration t; ok is false for t = 0, fresh sentinels, or absent vertices.
+func (s *State) Pick(v uint32, t int) (src uint32, pos int, ok bool) {
+	if int(v) >= len(s.src) || t <= 0 || t >= len(s.src[v]) {
+		return 0, 0, false
+	}
+	if s.src[v][t] < 0 {
+		return 0, 0, false
+	}
+	return uint32(s.src[v][t]), int(s.pos[v][t]), true
+}
+
+// Records returns the reverse records stored at vertex v. The slice is
+// owned by the State.
+func (s *State) Records(v uint32) []Record {
+	if int(v) >= len(s.recv) {
+		return nil
+	}
+	return s.recv[v]
+}
+
+// Clone returns a deep copy of the State, useful for comparing incremental
+// updates against from-scratch recomputation in tests.
+func (s *State) Clone() *State {
+	c := &State{cfg: s.cfg, g: s.g.Clone(), epoch: s.epoch}
+	c.labels = make([][]uint32, len(s.labels))
+	c.src = make([][]int32, len(s.src))
+	c.pos = make([][]int32, len(s.pos))
+	c.recv = make([][]Record, len(s.recv))
+	for v := range s.labels {
+		if s.labels[v] != nil {
+			c.labels[v] = append([]uint32(nil), s.labels[v]...)
+			c.src[v] = append([]int32(nil), s.src[v]...)
+			c.pos[v] = append([]int32(nil), s.pos[v]...)
+		}
+		if s.recv[v] != nil {
+			c.recv[v] = append([]Record(nil), s.recv[v]...)
+		}
+	}
+	return c
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"sort"
+
+	"rslpa/internal/graph"
+)
+
+// UpdateStats reports what an Update batch did; Touched is the measured η
+// of Section IV-D (the number of labels that needed to be examined), which
+// the analytic model in internal/complexity predicts.
+type UpdateStats struct {
+	Inserted int // edge insertions that changed the graph
+	Deleted  int // edge deletions that changed the graph
+
+	Repicked int // picks re-drawn or switched (Categories 2 and 3)
+	Touched  int // label slots visited by correction propagation (η)
+	Changed  int // label values that actually changed
+}
+
+// Update applies a batch of edge edits to the State's graph and runs
+// Correction Propagation (Algorithm 2) so that afterwards the label matrix
+// is distributed exactly as a fresh Algorithm 1 run on the updated graph.
+//
+// Inserting an edge that exists or deleting one that does not is a no-op,
+// and inserting+deleting the same edge within one batch cancels out. Edges
+// may reference vertex IDs never seen before; those vertices are created
+// (the paper's vertex-insertion rule: "pretend the new vertex was an old
+// vertex with all old neighbors removed").
+func (s *State) Update(batch []graph.Edit) UpdateStats {
+	s.epoch++
+	var stats UpdateStats
+
+	// Phase 0: apply the batch, accumulating the *net* neighbor delta per
+	// vertex (+1 added, -1 removed; cancellations vanish).
+	delta := make(map[uint32]map[uint32]int8)
+	bump := func(v, u uint32, d int8) {
+		m := delta[v]
+		if m == nil {
+			m = make(map[uint32]int8)
+			delta[v] = m
+		}
+		if m[u] += d; m[u] == 0 {
+			delete(m, u)
+		}
+	}
+	for _, e := range batch {
+		switch e.Op {
+		case graph.Insert:
+			s.growTo(e.U)
+			s.growTo(e.V)
+			if s.g.AddEdge(e.U, e.V) {
+				stats.Inserted++
+				bump(e.U, e.V, 1)
+				bump(e.V, e.U, 1)
+				if s.labels[e.U] == nil {
+					s.initVertex(e.U)
+				}
+				if s.labels[e.V] == nil {
+					s.initVertex(e.V)
+				}
+			}
+		case graph.Delete:
+			if s.g.RemoveEdge(e.U, e.V) {
+				stats.Deleted++
+				bump(e.U, e.V, -1)
+				bump(e.V, e.U, -1)
+			}
+		}
+	}
+
+	// Phase 1: handle adjacent edge changes (Algorithm 2 lines 1-12).
+	// Affected vertices are classified per label slot into the three
+	// categories of Section IV-A and re-picked where required.
+	affected := make([]uint32, 0, len(delta))
+	for v, m := range delta {
+		if len(m) > 0 {
+			affected = append(affected, v)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+
+	T := s.cfg.T
+	dirty := make([][]uint32, T+1)
+	for _, v := range affected {
+		stats.Repicked += s.repickVertex(v, delta[v], dirty)
+	}
+
+	// Phase 2: correction propagation (Algorithm 2 lines 13-24), level by
+	// level. pos < t always, so by the time level t runs every label it
+	// can read is final; each slot is therefore recomputed at most once.
+	stamp := make([]int32, len(s.labels))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for t := 1; t <= T; t++ {
+		for _, v := range dirty[t] {
+			if stamp[v] == int32(t) {
+				continue // duplicate mark within this level
+			}
+			stamp[v] = int32(t)
+			stats.Touched++
+			newVal := s.labels[s.src[v][t]][s.pos[v][t]]
+			if newVal == s.labels[v][t] {
+				continue
+			}
+			s.labels[v][t] = newVal
+			stats.Changed++
+			// Forward the change to everyone who copied this label; a
+			// linear scan of the flat record list beats any per-vertex
+			// index here (profiled: map-based indexing tripled Update
+			// time on web graphs).
+			for _, rec := range s.recv[v] {
+				if rec.Pos == int32(t) {
+					dirty[rec.Iter] = append(dirty[rec.Iter], rec.Tar)
+				}
+			}
+		}
+	}
+	return stats
+}
+
+// repickVertex applies the Category 1/2/3 analysis to every label slot of
+// an affected vertex. delta maps neighbor -> +1 (added) / -1 (removed).
+// Slots that get a new (src, pos) are marked dirty. It returns the number
+// of re-picked slots.
+func (s *State) repickVertex(v uint32, delta map[uint32]int8, dirty [][]uint32) int {
+	newNbrs := s.g.Neighbors(v)
+	newDeg := len(newNbrs)
+	added := make([]uint32, 0, len(delta))
+	removedCount := 0
+	for u, d := range delta {
+		if d > 0 {
+			added = append(added, u)
+		} else {
+			removedCount++
+		}
+	}
+	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+	oldDeg := newDeg - len(added) + removedCount
+
+	// Effective-set bookkeeping (N_eff = {v} when the vertex is isolated):
+	// nu = |oldEff ∩ newEff|, and the "new arrivals" to pick from.
+	var nu int
+	var arrivals []uint32 // newEff \ oldEff
+	switch {
+	case oldDeg > 0 && newDeg > 0:
+		nu = newDeg - len(added)
+		arrivals = added
+	case oldDeg == 0 && newDeg > 0:
+		nu = 0
+		arrivals = newNbrs // oldEff was {v}; every current neighbor is new
+	case oldDeg > 0 && newDeg == 0:
+		nu = 0
+		arrivals = []uint32{v} // newEff is {v}
+	default:
+		return 0 // {v} -> {v}: nothing changed
+	}
+
+	repicked := 0
+	T := int32(s.cfg.T)
+	for t := int32(1); t <= T; t++ {
+		oldSrc := s.src[v][t]
+		removed := oldSrc < 0 || // fresh-vertex sentinel: must draw now
+			oldDeg == 0 || // src was the {v} placeholder, eff set replaced
+			newDeg == 0 || // all real neighbors gone
+			delta[uint32(oldSrc)] < 0 // picked through a deleted edge
+
+		var newSrc uint32
+		var newPos int32
+		switch {
+		case removed:
+			// Category 2 (deleted source) or a fresh slot: pick a new
+			// label uniformly from all current effective neighbors.
+			stream := s.pickStream(s.epoch, v, int(t))
+			if newDeg == 0 {
+				newSrc = v
+				newPos = int32(stream.Intn(int(t)))
+			} else {
+				newSrc, newPos = drawFrom(&stream, newNbrs, t)
+			}
+		case len(arrivals) > 0:
+			// Category 3 (Theorem 5): keep the pick with probability
+			// nu/(nu+na); otherwise pick uniformly among the arrivals.
+			// A single uniform draw over nu+na outcomes realizes both
+			// branches exactly.
+			stream := s.pickStream(s.epoch, v, int(t))
+			r := stream.Intn(nu + len(arrivals))
+			if r < nu {
+				continue // kept unchanged (Theorem 4 applies)
+			}
+			newSrc = arrivals[r-nu]
+			newPos = int32(stream.Intn(int(t)))
+		default:
+			continue // Category 1: neighbors only gained nothing / lost nothing relevant
+		}
+
+		if oldSrc >= 0 {
+			s.dropRecord(uint32(oldSrc), s.pos[v][t], v, t)
+		}
+		s.src[v][t] = int32(newSrc)
+		s.pos[v][t] = newPos
+		s.recv[newSrc] = append(s.recv[newSrc], Record{Pos: newPos, Tar: v, Iter: t})
+		dirty[t] = append(dirty[t], v)
+		repicked++
+	}
+	return repicked
+}
+
+// growTo extends the per-vertex arrays to cover vertex ID v.
+func (s *State) growTo(v uint32) {
+	for int(v) >= len(s.labels) {
+		s.labels = append(s.labels, nil)
+		s.src = append(s.src, nil)
+		s.pos = append(s.pos, nil)
+		s.recv = append(s.recv, nil)
+	}
+}
+
+// AddVertex inserts an isolated vertex (no label slots need repair: an
+// isolated vertex's sequence is all its own label). It reports whether the
+// vertex was new.
+func (s *State) AddVertex(v uint32) bool {
+	s.growTo(v)
+	if !s.g.AddVertex(v) {
+		return false
+	}
+	if s.labels[v] == nil {
+		s.initVertex(v)
+	}
+	return true
+}
+
+// RemoveVertex deletes a vertex and its incident edges, repairing all
+// affected labels (the paper's rule: deletion is handled by deleting the
+// incident edges and then ignoring the vertex). It returns the stats of the
+// induced edge-deletion batch; ok is false if the vertex was absent.
+func (s *State) RemoveVertex(v uint32) (UpdateStats, bool) {
+	if !s.g.HasVertex(v) {
+		return UpdateStats{}, false
+	}
+	nbrs := s.g.Neighbors(v)
+	batch := make([]graph.Edit, 0, len(nbrs))
+	for _, u := range nbrs {
+		batch = append(batch, graph.Edit{Op: graph.Delete, U: v, V: u})
+	}
+	stats := s.Update(batch)
+	// After the batch no external pick references v (its former neighbors
+	// all re-picked away), and v's own picks are self-picks whose records
+	// live at v itself; dropping the vertex wholesale is safe.
+	s.g.RemoveVertex(v)
+	s.labels[v] = nil
+	s.src[v] = nil
+	s.pos[v] = nil
+	s.recv[v] = nil
+	return stats, true
+}

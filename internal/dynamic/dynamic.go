@@ -1,0 +1,106 @@
+// Package dynamic generates the edit workloads of the paper's dynamic
+// experiments (Sections IV and V-B): batches of edge insertions and
+// deletions drawn uniformly at random — "each existing edge will have equal
+// probability to be deleted, and each non-existing edge will have equal
+// probability to be inserted" — with half of each batch insertions and half
+// deletions, at batch sizes from 100 to 100,000 (Figure 9).
+package dynamic
+
+import (
+	"fmt"
+
+	"rslpa/internal/graph"
+	"rslpa/internal/rng"
+)
+
+// Batch draws an edit batch of the given size against g: size/2 uniform
+// deletions of existing edges and size-size/2 uniform insertions of
+// non-existing edges (between existing vertices). The batch is not applied
+// to g. Deletions are sampled without replacement; insertions are rejected
+// against both g and the batch so the whole batch applies cleanly.
+func Batch(g *graph.Graph, size int, seed uint64) ([]graph.Edit, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("dynamic: negative batch size %d", size)
+	}
+	deletions := size / 2
+	insertions := size - deletions
+	if deletions > g.NumEdges() {
+		return nil, fmt.Errorf("dynamic: cannot delete %d of %d edges", deletions, g.NumEdges())
+	}
+	n := int64(g.NumVertices())
+	maxInsert := n*(n-1)/2 - int64(g.NumEdges())
+	if int64(insertions) > maxInsert {
+		return nil, fmt.Errorf("dynamic: cannot insert %d edges into graph with %d free slots", insertions, maxInsert)
+	}
+	r := rng.New(seed)
+	batch := make([]graph.Edit, 0, size)
+
+	// Uniform deletions without replacement: partial Fisher-Yates over the
+	// edge key list.
+	edges := g.Edges()
+	for i := 0; i < deletions; i++ {
+		j := i + r.Intn(len(edges)-i)
+		edges[i], edges[j] = edges[j], edges[i]
+		u, v := graph.UnpackEdgeKey(edges[i])
+		batch = append(batch, graph.Edit{Op: graph.Delete, U: u, V: v})
+	}
+
+	// Uniform insertions by rejection over vertex pairs. The graphs used
+	// here are sparse (|E| << n²/2), so rejections are rare.
+	vertices := g.Vertices()
+	pending := make(map[uint64]struct{}, insertions)
+	deleted := make(map[uint64]struct{}, deletions)
+	for _, e := range batch {
+		deleted[graph.EdgeKey(e.U, e.V)] = struct{}{}
+	}
+	for len(pending) < insertions {
+		u := vertices[r.Intn(len(vertices))]
+		v := vertices[r.Intn(len(vertices))]
+		if u == v {
+			continue
+		}
+		key := graph.EdgeKey(u, v)
+		if _, ok := pending[key]; ok {
+			continue
+		}
+		if _, ok := deleted[key]; ok {
+			continue // keep delete+insert of one edge out of a single batch
+		}
+		if g.HasEdge(u, v) {
+			continue
+		}
+		pending[key] = struct{}{}
+		batch = append(batch, graph.Edit{Op: graph.Insert, U: u, V: v})
+	}
+	return batch, nil
+}
+
+// Stream produces a sequence of batches, each drawn against the state of
+// the graph after the previous batch was applied. The supplied graph is
+// mutated. It returns the batches in order.
+func Stream(g *graph.Graph, batchSize, count int, seed uint64) ([][]graph.Edit, error) {
+	batches := make([][]graph.Edit, 0, count)
+	for i := 0; i < count; i++ {
+		b, err := Batch(g, batchSize, seed+uint64(i)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: batch %d: %w", i, err)
+		}
+		g.Apply(b)
+		batches = append(batches, b)
+	}
+	return batches, nil
+}
+
+// Invert returns the batch that undoes b (inserts become deletes and vice
+// versa, in reverse order), useful for rollback-style tests.
+func Invert(b []graph.Edit) []graph.Edit {
+	out := make([]graph.Edit, len(b))
+	for i, e := range b {
+		op := graph.Insert
+		if e.Op == graph.Insert {
+			op = graph.Delete
+		}
+		out[len(b)-1-i] = graph.Edit{Op: op, U: e.U, V: e.V}
+	}
+	return out
+}

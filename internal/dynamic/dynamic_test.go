@@ -1,0 +1,170 @@
+package dynamic
+
+import (
+	"testing"
+
+	"rslpa/internal/graph"
+	"rslpa/internal/rng"
+)
+
+func randomGraph(n, m int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(uint32(i))
+	}
+	for g.NumEdges() < m {
+		u, v := uint32(r.Intn(n)), uint32(r.Intn(n))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestBatchComposition(t *testing.T) {
+	g := randomGraph(100, 300, 1)
+	b, err := Batch(g, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del := 0, 0
+	for _, e := range b {
+		if e.Op == graph.Insert {
+			ins++
+		} else {
+			del++
+		}
+	}
+	if ins != 20 || del != 20 {
+		t.Fatalf("composition %d+/%d-", ins, del)
+	}
+}
+
+func TestBatchAppliesCleanly(t *testing.T) {
+	g := randomGraph(80, 200, 3)
+	b, err := Batch(g, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed := g.Apply(b); changed != len(b) {
+		t.Fatalf("only %d/%d edits applied — batch must be conflict-free", changed, len(b))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edge count unchanged: equal insertions and deletions.
+	if g.NumEdges() != 200 {
+		t.Fatalf("edges %d, want 200", g.NumEdges())
+	}
+}
+
+func TestBatchDeterministic(t *testing.T) {
+	g := randomGraph(50, 120, 5)
+	a, err := Batch(g, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Batch(g, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	seen := make(map[graph.Edit]int)
+	for _, e := range a {
+		seen[e]++
+	}
+	for _, e := range b {
+		if seen[e] == 0 {
+			t.Fatalf("edit %+v missing from first batch", e)
+		}
+		seen[e]--
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	g := randomGraph(10, 20, 2)
+	if _, err := Batch(g, -1, 1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := Batch(g, 100, 1); err == nil {
+		t.Fatal("deleting more edges than exist accepted")
+	}
+	// A near-complete graph cannot absorb many insertions.
+	k := graph.New()
+	for i := uint32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k.AddEdge(i, j)
+		}
+	}
+	if _, err := Batch(k, 12, 1); err == nil {
+		t.Fatal("overfull insertion accepted")
+	}
+}
+
+func TestBatchZeroSize(t *testing.T) {
+	g := randomGraph(20, 40, 8)
+	b, err := Batch(g, 0, 1)
+	if err != nil || len(b) != 0 {
+		t.Fatalf("zero batch: %v %v", b, err)
+	}
+}
+
+func TestStreamSequence(t *testing.T) {
+	g := randomGraph(100, 300, 4)
+	snapshot := g.Clone()
+	batches, err := Stream(g, 30, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 5 {
+		t.Fatalf("batches %d", len(batches))
+	}
+	// Replaying the batches on the snapshot must land on the same graph.
+	for _, b := range batches {
+		if changed := snapshot.Apply(b); changed != len(b) {
+			t.Fatalf("replay applied %d/%d", changed, len(b))
+		}
+	}
+	if !snapshot.Equal(g) {
+		t.Fatal("replay diverged from streamed graph")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	g := randomGraph(60, 150, 6)
+	before := g.Clone()
+	b, err := Batch(g, 40, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Apply(b)
+	g.Apply(Invert(b))
+	if !g.Equal(before) {
+		t.Fatal("invert did not restore the graph")
+	}
+}
+
+func TestBatchAvoidsDeleteInsertConflict(t *testing.T) {
+	// An edge deleted in the batch must not also be inserted by it.
+	g := randomGraph(30, 60, 7)
+	for seed := uint64(0); seed < 20; seed++ {
+		b, err := Batch(g, 40, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deleted := make(map[uint64]bool)
+		for _, e := range b {
+			if e.Op == graph.Delete {
+				deleted[graph.EdgeKey(e.U, e.V)] = true
+			}
+		}
+		for _, e := range b {
+			if e.Op == graph.Insert && deleted[graph.EdgeKey(e.U, e.V)] {
+				t.Fatalf("seed %d: edge %d-%d both deleted and inserted", seed, e.U, e.V)
+			}
+		}
+	}
+}

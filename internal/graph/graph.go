@@ -1,0 +1,376 @@
+// Package graph implements the dynamic, undirected, unweighted ("binary")
+// graph substrate that the paper's algorithms operate on.
+//
+// The representation is tuned for the access patterns of label propagation
+// and incremental maintenance:
+//
+//   - adjacency lists are flat []uint32 slices so that "pick a uniform
+//     random neighbor" is a single index operation;
+//   - a packed edge set gives O(1) HasEdge, which both the generators and
+//     the dynamic-update path rely on;
+//   - vertices are dense uint32 IDs (the generators emit 0..N-1), but the
+//     structure grows transparently if a larger ID appears.
+//
+// Graphs are not safe for concurrent mutation; the distributed runtime
+// partitions a graph into per-worker shards instead of sharing one.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are expected to be small and dense but
+// any uint32 value is accepted.
+type VertexID = uint32
+
+// EdgeKey packs an undirected edge into a single comparable value.
+// EdgeKey(u, v) == EdgeKey(v, u).
+func EdgeKey(u, v VertexID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// UnpackEdgeKey is the inverse of EdgeKey; it returns u <= v.
+func UnpackEdgeKey(k uint64) (u, v VertexID) {
+	return VertexID(k >> 32), VertexID(k)
+}
+
+// Graph is a dynamic undirected binary graph. The zero value is an empty
+// graph ready to use.
+type Graph struct {
+	adj    [][]VertexID
+	exists []bool
+	edges  map[uint64]struct{}
+	n      int // number of present vertices
+	m      int // number of edges
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{edges: make(map[uint64]struct{})}
+}
+
+// NewWithCapacity returns an empty graph with room pre-allocated for
+// vertices with IDs below n and approximately m edges.
+func NewWithCapacity(n, m int) *Graph {
+	return &Graph{
+		adj:    make([][]VertexID, 0, n),
+		exists: make([]bool, 0, n),
+		edges:  make(map[uint64]struct{}, m),
+	}
+}
+
+func (g *Graph) init() {
+	if g.edges == nil {
+		g.edges = make(map[uint64]struct{})
+	}
+}
+
+func (g *Graph) grow(v VertexID) {
+	for int(v) >= len(g.adj) {
+		g.adj = append(g.adj, nil)
+		g.exists = append(g.exists, false)
+	}
+}
+
+// NumVertices reports the number of vertices currently in the graph.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges reports the number of edges currently in the graph.
+func (g *Graph) NumEdges() int { return g.m }
+
+// MaxVertexID returns the largest vertex ID ever added plus one (i.e. the
+// length of the dense ID space), or 0 for an empty graph. Deleted vertices
+// still count toward the ID space; callers use this to size per-vertex
+// arrays.
+func (g *Graph) MaxVertexID() int { return len(g.adj) }
+
+// HasVertex reports whether v is present.
+func (g *Graph) HasVertex(v VertexID) bool {
+	return int(v) < len(g.exists) && g.exists[v]
+}
+
+// AddVertex inserts an isolated vertex. It reports whether the vertex was
+// newly added (false if it already existed).
+func (g *Graph) AddVertex(v VertexID) bool {
+	g.init()
+	g.grow(v)
+	if g.exists[v] {
+		return false
+	}
+	g.exists[v] = true
+	g.n++
+	return true
+}
+
+// RemoveVertex deletes v and all its incident edges. It reports whether the
+// vertex existed.
+func (g *Graph) RemoveVertex(v VertexID) bool {
+	if !g.HasVertex(v) {
+		return false
+	}
+	for _, u := range g.adj[v] {
+		g.removeHalf(u, v)
+		delete(g.edges, EdgeKey(u, v))
+		g.m--
+	}
+	g.adj[v] = nil
+	g.exists[v] = false
+	g.n--
+	return true
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	if g.edges == nil {
+		return false
+	}
+	_, ok := g.edges[EdgeKey(u, v)]
+	return ok
+}
+
+// AddEdge inserts the undirected edge {u, v}, creating the endpoints if
+// needed. Self-loops and duplicate edges are rejected. It reports whether
+// the edge was newly added.
+func (g *Graph) AddEdge(u, v VertexID) bool {
+	if u == v {
+		return false
+	}
+	g.init()
+	if g.HasEdge(u, v) {
+		return false
+	}
+	g.AddVertex(u)
+	g.AddVertex(v)
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges[EdgeKey(u, v)] = struct{}{}
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {u, v}. It reports whether the edge
+// existed.
+func (g *Graph) RemoveEdge(u, v VertexID) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.removeHalf(u, v)
+	g.removeHalf(v, u)
+	delete(g.edges, EdgeKey(u, v))
+	g.m--
+	return true
+}
+
+// removeHalf deletes v from u's adjacency list by swap-removal.
+func (g *Graph) removeHalf(u, v VertexID) {
+	list := g.adj[u]
+	for i, w := range list {
+		if w == v {
+			last := len(list) - 1
+			list[i] = list[last]
+			g.adj[u] = list[:last]
+			return
+		}
+	}
+}
+
+// Degree returns the number of neighbors of v (0 if absent).
+func (g *Graph) Degree(v VertexID) int {
+	if int(v) >= len(g.adj) {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors returns v's adjacency list. The returned slice is owned by the
+// graph: callers must not mutate it, and it is invalidated by the next
+// mutation of the graph. Neighbor order is unspecified.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	if int(v) >= len(g.adj) {
+		return nil
+	}
+	return g.adj[v]
+}
+
+// Vertices returns the present vertex IDs in ascending order.
+func (g *Graph) Vertices() []VertexID {
+	vs := make([]VertexID, 0, g.n)
+	for v, ok := range g.exists {
+		if ok {
+			vs = append(vs, VertexID(v))
+		}
+	}
+	return vs
+}
+
+// ForEachVertex calls fn for every present vertex in ascending ID order.
+func (g *Graph) ForEachVertex(fn func(v VertexID)) {
+	for v, ok := range g.exists {
+		if ok {
+			fn(VertexID(v))
+		}
+	}
+}
+
+// ForEachEdge calls fn once per undirected edge with u < v. The iteration
+// order is unspecified but deterministic for a given graph history.
+func (g *Graph) ForEachEdge(fn func(u, v VertexID)) {
+	for u, ok := range g.exists {
+		if !ok {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if VertexID(u) < v {
+				fn(VertexID(u), v)
+			}
+		}
+	}
+}
+
+// Edges returns all edges as packed keys in ascending order.
+func (g *Graph) Edges() []uint64 {
+	keys := make([]uint64, 0, g.m)
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:    make([][]VertexID, len(g.adj)),
+		exists: append([]bool(nil), g.exists...),
+		edges:  make(map[uint64]struct{}, len(g.edges)),
+		n:      g.n,
+		m:      g.m,
+	}
+	for v, list := range g.adj {
+		if len(list) > 0 {
+			c.adj[v] = append([]VertexID(nil), list...)
+		}
+	}
+	for k := range g.edges {
+		c.edges[k] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether g and h contain the same vertex and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for v, ok := range g.exists {
+		if ok && !h.HasVertex(VertexID(v)) {
+			return false
+		}
+	}
+	for k := range g.edges {
+		if _, ok := h.edges[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Op distinguishes edge-edit operations in a dynamic batch.
+type Op uint8
+
+const (
+	// Insert adds an edge.
+	Insert Op = iota
+	// Delete removes an edge.
+	Delete
+)
+
+// String returns "insert" or "delete".
+func (op Op) String() string {
+	if op == Insert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Edit is a single edge insertion or deletion.
+type Edit struct {
+	Op   Op
+	U, V VertexID
+}
+
+// Apply applies a batch of edge edits in order and returns the number of
+// edits that changed the graph (inserting an existing edge or deleting an
+// absent one is a no-op, mirroring the paper's uniform random edit model
+// where batches are generated against the current graph).
+func (g *Graph) Apply(batch []Edit) int {
+	changed := 0
+	for _, e := range batch {
+		switch e.Op {
+		case Insert:
+			if g.AddEdge(e.U, e.V) {
+				changed++
+			}
+		case Delete:
+			if g.RemoveEdge(e.U, e.V) {
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// Validate checks internal invariants (adjacency symmetry, edge-set
+// consistency, counters) and returns a descriptive error if any is violated.
+// It is O(|V| + |E|) and intended for tests.
+func (g *Graph) Validate() error {
+	seen := 0
+	for u, ok := range g.exists {
+		if !ok {
+			if len(g.adj[u]) != 0 {
+				return fmt.Errorf("graph: absent vertex %d has %d neighbors", u, len(g.adj[u]))
+			}
+			continue
+		}
+		seen++
+		for _, v := range g.adj[u] {
+			if !g.HasVertex(v) {
+				return fmt.Errorf("graph: edge %d-%d points at absent vertex", u, v)
+			}
+			if VertexID(u) == v {
+				return fmt.Errorf("graph: self-loop at %d", u)
+			}
+			if !g.HasEdge(VertexID(u), v) {
+				return fmt.Errorf("graph: adjacency %d-%d missing from edge set", u, v)
+			}
+			found := false
+			for _, w := range g.adj[v] {
+				if w == VertexID(u) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("graph: edge %d-%d not symmetric", u, v)
+			}
+		}
+	}
+	if seen != g.n {
+		return fmt.Errorf("graph: vertex count %d != counted %d", g.n, seen)
+	}
+	half := 0
+	for _, list := range g.adj {
+		half += len(list)
+	}
+	if half != 2*g.m {
+		return fmt.Errorf("graph: adjacency half-edges %d != 2*edges %d", half, 2*g.m)
+	}
+	if len(g.edges) != g.m {
+		return fmt.Errorf("graph: edge set size %d != edge count %d", len(g.edges), g.m)
+	}
+	return nil
+}

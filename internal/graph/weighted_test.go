@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadWeightedEdgeListThreshold(t *testing.T) {
+	in := `# weighted network
+1 2 0.9
+2 3 0.4
+3 4 0.7
+4 4 5.0
+5 6
+`
+	g, err := ReadWeightedEdgeList(strings.NewReader(in), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(3, 4) {
+		t.Fatal("edges above threshold missing")
+	}
+	if g.HasEdge(2, 3) {
+		t.Fatal("edge below threshold kept")
+	}
+	if g.HasEdge(4, 4) {
+		t.Fatal("self-loop kept")
+	}
+	if !g.HasEdge(5, 6) {
+		t.Fatal("implicit weight-1 edge dropped")
+	}
+}
+
+func TestReadWeightedEdgeListEitherDirection(t *testing.T) {
+	in := "1 2 0.2\n2 1 0.8\n"
+	g, err := ReadWeightedEdgeList(strings.NewReader(in), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 2) {
+		t.Fatal("edge must be kept when either direction clears the threshold")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestReadWeightedEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"1\n", "x 2 0.5\n", "1 y 0.5\n", "1 2 zzz\n"} {
+		if _, err := ReadWeightedEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Fatalf("no error for %q", in)
+		}
+	}
+}
+
+func TestReadWeightedEdgeListZeroThresholdKeepsAll(t *testing.T) {
+	g, err := ReadWeightedEdgeList(strings.NewReader("1 2 0.0001\n3 4 100\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}

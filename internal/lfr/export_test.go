@@ -1,0 +1,7 @@
+package lfr
+
+import "rslpa/internal/rng"
+
+// newTestSource exposes a PRNG constructor to the tests without importing
+// rng there directly.
+func newTestSource(seed uint64) *rng.Source { return rng.New(seed) }

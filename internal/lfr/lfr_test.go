@@ -1,0 +1,178 @@
+package lfr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := Default(1000)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	cases := []Params{
+		{N: 5, AvgDeg: 2, MaxDeg: 3},
+		{N: 100, AvgDeg: 0.5, MaxDeg: 10},
+		{N: 100, AvgDeg: 20, MaxDeg: 10},
+		{N: 100, AvgDeg: 5, MaxDeg: 100},
+		{N: 100, AvgDeg: 5, MaxDeg: 20, Mu: 1.5},
+		{N: 100, AvgDeg: 5, MaxDeg: 20, Mu: 0.1, On: 200},
+		{N: 100, AvgDeg: 5, MaxDeg: 20, Mu: 0.1, On: 10, Om: 1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Default(300)
+	p.AvgDeg, p.MaxDeg, p.On = 10, 30, 30
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Equal(b.Graph) {
+		t.Fatal("same params+seed produced different graphs")
+	}
+	if !a.Truth.Equal(b.Truth) {
+		t.Fatal("same params+seed produced different ground truth")
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	p := Default(2000)
+	p.AvgDeg, p.MaxDeg, p.On = 12, 40, 200
+	res, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if g.NumVertices() != p.N {
+		t.Fatalf("vertices %d, want %d", g.NumVertices(), p.N)
+	}
+	stats := g.ComputeStats()
+	if math.Abs(stats.AvgDegree-p.AvgDeg) > 0.2*p.AvgDeg {
+		t.Fatalf("avg degree %.2f, want %.2f ± 20%%", stats.AvgDegree, p.AvgDeg)
+	}
+	if stats.MaxDegree > p.MaxDeg {
+		t.Fatalf("max degree %d exceeds cap %d", stats.MaxDegree, p.MaxDeg)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateMembershipCounts(t *testing.T) {
+	p := Default(1500)
+	p.AvgDeg, p.MaxDeg = 10, 30
+	p.On, p.Om = 150, 3
+	res, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := res.Truth.Membership()
+	over, maxM := 0, 0
+	for v := uint32(0); v < uint32(p.N); v++ {
+		m := len(member[v])
+		if m == 0 {
+			t.Fatalf("vertex %d in no community", v)
+		}
+		if m >= 2 {
+			over++
+		}
+		if m > maxM {
+			maxM = m
+		}
+	}
+	if over != p.On {
+		t.Fatalf("overlapping vertices %d, want %d", over, p.On)
+	}
+	if maxM != p.Om {
+		t.Fatalf("max memberships %d, want %d", maxM, p.Om)
+	}
+}
+
+func TestGenerateMixing(t *testing.T) {
+	for _, mu := range []float64{0.1, 0.2, 0.3} {
+		p := Default(2000)
+		p.AvgDeg, p.MaxDeg, p.On = 15, 45, 200
+		p.Mu = mu
+		res, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		member := res.Truth.Membership()
+		got := MeasureMixing(res.Graph, member)
+		if math.Abs(got-mu) > 0.06 {
+			t.Errorf("µ=%.2f: realized mixing %.3f (want within 0.06)", mu, got)
+		}
+	}
+}
+
+func TestGenerateCommunitySizeBounds(t *testing.T) {
+	p := Default(1200)
+	p.AvgDeg, p.MaxDeg, p.On = 10, 30, 120
+	p.MinComm, p.MaxComm = 20, 60
+	res, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, size := range res.Truth.Sizes() {
+		// Assignment overflow may exceed the cap slightly; sizes far out
+		// of range indicate a bug.
+		if size < p.MinComm/2 || size > 2*p.MaxComm {
+			t.Fatalf("community %d size %d far outside [%d, %d]", i, size, p.MinComm, p.MaxComm)
+		}
+	}
+}
+
+func TestPowerLawMeanMatchesSamples(t *testing.T) {
+	quickCfg := &quick.Config{MaxCount: 20}
+	check := func(seedRaw uint16) bool {
+		xmin, xmax, exp := 3.0, 80.0, 2.0
+		want := powerLawMean(xmin, xmax, exp)
+		r := newTestSource(uint64(seedRaw))
+		sum := 0.0
+		const n = 30000
+		for i := 0; i < n; i++ {
+			sum += powerLaw(r, xmin, xmax, exp)
+		}
+		got := sum / n
+		return math.Abs(got-want) < 0.08*want
+	}
+	if err := quick.Check(check, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveXminHitsTarget(t *testing.T) {
+	for _, avg := range []float64{5, 15, 30, 50} {
+		xmin := solveXmin(avg, 100, 2)
+		got := powerLawMean(xmin, 100, 2)
+		if math.Abs(got-avg) > 0.01*avg {
+			t.Errorf("avg %v: solved xmin %.3f gives mean %.3f", avg, xmin, got)
+		}
+	}
+}
+
+func TestSampleCommunitySizesCoversSlots(t *testing.T) {
+	p := Default(1000).withDefaults()
+	r := newTestSource(5)
+	for _, slots := range []int{1000, 1100, 1357} {
+		sizes := sampleCommunitySizes(r, p, slots)
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		if total < slots {
+			t.Fatalf("slots %d: capacity %d insufficient", slots, total)
+		}
+	}
+}

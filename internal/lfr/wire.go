@@ -1,0 +1,174 @@
+package lfr
+
+import (
+	"rslpa/internal/graph"
+	"rslpa/internal/rng"
+)
+
+// wire builds the benchmark graph from the planted structure using a
+// configuration model: one internal stub-matching pass per community, then
+// a single global pass for external stubs. Self-loops and duplicate edges
+// are rejected by re-shuffling; stubs that cannot be matched after several
+// rounds are dropped (a standard LFR relaxation — the realized degree
+// sequence is validated statistically by tests, not exactly).
+func wire(r *rng.Source, p Params, degrees, internal, sizes []int, assign [][]int) *graph.Graph {
+	nc := len(sizes)
+	members := make([][]int, nc)
+	for v, cs := range assign {
+		for _, c := range cs {
+			members[c] = append(members[c], v)
+		}
+	}
+
+	// Split each vertex's internal degree across its communities, capping
+	// each share at |community|-1 (a vertex cannot have more internal
+	// neighbors than the community has other members).
+	shares := make([][]int, p.N) // parallel to assign[v]
+	extDeg := make([]int, p.N)
+	for v := range assign {
+		cs := assign[v]
+		m := len(cs)
+		shares[v] = make([]int, m)
+		remaining := internal[v]
+		base := remaining / m
+		extra := remaining % m
+		for i, c := range cs {
+			s := base
+			if i < extra {
+				s++
+			}
+			if max := len(members[c]) - 1; s > max {
+				s = max
+			}
+			shares[v][i] = s
+		}
+		used := 0
+		for _, s := range shares[v] {
+			used += s
+		}
+		// Redistribute any capped-off internal degree to communities with
+		// headroom so the realized mixing stays close to µ.
+		deficit := internal[v] - used
+		for i, c := range cs {
+			if deficit == 0 {
+				break
+			}
+			if room := len(members[c]) - 1 - shares[v][i]; room > 0 {
+				add := room
+				if add > deficit {
+					add = deficit
+				}
+				shares[v][i] += add
+				deficit -= add
+			}
+		}
+		used = 0
+		for _, s := range shares[v] {
+			used += s
+		}
+		extDeg[v] = degrees[v] - used
+		if extDeg[v] < 0 {
+			extDeg[v] = 0
+		}
+	}
+
+	g := graph.NewWithCapacity(p.N, int(float64(p.N)*p.AvgDeg/2))
+	for v := 0; v < p.N; v++ {
+		g.AddVertex(uint32(v))
+	}
+
+	// Internal passes.
+	for c := 0; c < nc; c++ {
+		stubs := make([]int, 0, 64)
+		for _, v := range members[c] {
+			share := 0
+			for i, cc := range assign[v] {
+				if cc == c {
+					share = shares[v][i]
+					break
+				}
+			}
+			for k := 0; k < share; k++ {
+				stubs = append(stubs, v)
+			}
+		}
+		matchStubs(r, g, stubs, nil, 30)
+	}
+
+	// External pass: a global stub matching that avoids intra-community
+	// pairs while possible.
+	stubs := make([]int, 0, p.N)
+	for v := 0; v < p.N; v++ {
+		for k := 0; k < extDeg[v]; k++ {
+			stubs = append(stubs, v)
+		}
+	}
+	shared := func(u, v int) bool {
+		for _, cu := range assign[u] {
+			if containsInt(assign[v], cu) {
+				return true
+			}
+		}
+		return false
+	}
+	leftover := matchStubs(r, g, stubs, shared, 30)
+	// Final relaxation: drain remaining external stubs without the
+	// community constraint so the degree sequence stays close.
+	matchStubs(r, g, leftover, nil, 10)
+	return g
+}
+
+// matchStubs repeatedly shuffles the stub list and pairs adjacent entries,
+// adding each valid pair as an edge; invalid pairs (self, duplicate, or
+// rejected by the forbid predicate) are retried in the next round. It
+// returns the stubs still unmatched after maxRounds.
+func matchStubs(r *rng.Source, g *graph.Graph, stubs []int, forbid func(u, v int) bool, maxRounds int) []int {
+	for round := 0; round < maxRounds && len(stubs) > 1; round++ {
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		var next []int
+		for i := 0; i+1 < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			switch {
+			case u == v,
+				forbid != nil && forbid(u, v),
+				!g.AddEdge(uint32(u), uint32(v)):
+				next = append(next, u, v)
+			}
+		}
+		if len(stubs)%2 == 1 {
+			next = append(next, stubs[len(stubs)-1])
+		}
+		if len(next) == len(stubs) {
+			// No progress; a final shuffle will not help either.
+			return next
+		}
+		stubs = next
+	}
+	return stubs
+}
+
+// MeasureMixing returns the realized mixing parameter of a graph with
+// respect to a membership assignment: the fraction of edge endpoints whose
+// other end shares no community. Tests use it to validate the generator.
+func MeasureMixing(g *graph.Graph, assign map[uint32][]int) float64 {
+	external, total := 0, 0
+	g.ForEachEdge(func(u, v uint32) {
+		total += 2
+		if !shareAny(assign[u], assign[v]) {
+			external += 2
+		}
+	})
+	if total == 0 {
+		return 0
+	}
+	return float64(external) / float64(total)
+}
+
+func shareAny(a, b []int) bool {
+	for _, x := range a {
+		if containsInt(b, x) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+// Package metrics provides the small measurement helpers the experiment
+// harness uses: phase timers and summary statistics over repeated runs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Timer measures named phases of an experiment run.
+type Timer struct {
+	start  time.Time
+	last   time.Time
+	phases []Phase
+}
+
+// Phase is one named measured interval.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// NewTimer starts a timer.
+func NewTimer() *Timer {
+	now := time.Now()
+	return &Timer{start: now, last: now}
+}
+
+// Mark closes the current phase under the given name and starts the next.
+func (t *Timer) Mark(name string) time.Duration {
+	now := time.Now()
+	d := now.Sub(t.last)
+	t.phases = append(t.phases, Phase{Name: name, Duration: d})
+	t.last = now
+	return d
+}
+
+// Total returns the time since the timer started.
+func (t *Timer) Total() time.Duration { return time.Since(t.start) }
+
+// Phases returns the recorded phases in order.
+func (t *Timer) Phases() []Phase { return t.phases }
+
+// Get returns the duration of the named phase (0 if absent).
+func (t *Timer) Get(name string) time.Duration {
+	for _, p := range t.phases {
+		if p.Name == name {
+			return p.Duration
+		}
+	}
+	return 0
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes summary statistics. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		s.Median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f med=%.4f max=%.4f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimerPhases(t *testing.T) {
+	tm := NewTimer()
+	time.Sleep(2 * time.Millisecond)
+	d1 := tm.Mark("first")
+	d2 := tm.Mark("second")
+	if d1 < 2*time.Millisecond {
+		t.Fatalf("first phase %v too short", d1)
+	}
+	if len(tm.Phases()) != 2 {
+		t.Fatalf("phases: %v", tm.Phases())
+	}
+	if tm.Get("first") != d1 || tm.Get("second") != d2 {
+		t.Fatal("Get mismatch")
+	}
+	if tm.Get("absent") != 0 {
+		t.Fatal("absent phase nonzero")
+	}
+	if tm.Total() < d1+d2 {
+		t.Fatal("total below phase sum")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{4.5})
+	if s.N != 1 || s.Mean != 4.5 || s.Std != 0 || s.Median != 4.5 || s.Min != 4.5 || s.Max != 4.5 {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %v want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median %v", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Fatalf("median %v", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	out := s.String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "mean=2.0000") {
+		t.Fatalf("String: %q", out)
+	}
+}

@@ -1,0 +1,181 @@
+package nmi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rslpa/internal/cover"
+	"rslpa/internal/rng"
+)
+
+func mk(comms ...[]uint32) *cover.Cover { return cover.FromCommunities(comms) }
+
+func TestIdenticalCoversScoreOne(t *testing.T) {
+	a := mk([]uint32{0, 1, 2}, []uint32{3, 4, 5}, []uint32{5, 6})
+	b := mk([]uint32{5, 6}, []uint32{0, 1, 2}, []uint32{3, 4, 5})
+	if got := Compare(a, b, 7); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("identical covers: NMI = %v", got)
+	}
+}
+
+func TestEmptyCovers(t *testing.T) {
+	if Compare(cover.New(0), cover.New(0), 5) != 1 {
+		t.Fatal("two empty covers should score 1")
+	}
+	a := mk([]uint32{1, 2})
+	if Compare(a, cover.New(0), 5) != 0 || Compare(cover.New(0), a, 5) != 0 {
+		t.Fatal("empty vs non-empty should score 0")
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	a := mk([]uint32{0, 1, 2, 3}, []uint32{4, 5, 6})
+	b := mk([]uint32{0, 1, 2}, []uint32{3, 4, 5, 6}, []uint32{2, 3})
+	if x, y := Compare(a, b, 7), Compare(b, a, 7); math.Abs(x-y) > 1e-12 {
+		t.Fatalf("asymmetric: %v vs %v", x, y)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		build := func() *cover.Cover {
+			c := cover.New(3)
+			for i := 0; i < 2+r.Intn(3); i++ {
+				var members []uint32
+				for v := uint32(0); v < 30; v++ {
+					if r.Bool() {
+						members = append(members, v)
+					}
+				}
+				if len(members) > 0 {
+					c.Add(members)
+				}
+			}
+			return c
+		}
+		a, b := build(), build()
+		s := Compare(a, b, 30)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointPartitionsScoreLow(t *testing.T) {
+	// A 4-community partition vs a completely different reshuffling of
+	// the same vertices into 4 groups: far from identical, score must be
+	// well below 1.
+	a := mk([]uint32{0, 1, 2, 3}, []uint32{4, 5, 6, 7}, []uint32{8, 9, 10, 11}, []uint32{12, 13, 14, 15})
+	b := mk([]uint32{0, 4, 8, 12}, []uint32{1, 5, 9, 13}, []uint32{2, 6, 10, 14}, []uint32{3, 7, 11, 15})
+	if got := Compare(a, b, 16); got > 0.2 {
+		t.Fatalf("orthogonal partitions: NMI = %v, want near 0", got)
+	}
+}
+
+func TestPartialAgreement(t *testing.T) {
+	// b merges a's two communities into one: intermediate score,
+	// strictly between the orthogonal and identical cases.
+	a := mk([]uint32{0, 1, 2, 3}, []uint32{4, 5, 6, 7})
+	b := mk([]uint32{0, 1, 2, 3, 4, 5, 6, 7})
+	got := Compare(a, b, 8)
+	if got <= 0.05 || got >= 0.95 {
+		t.Fatalf("merged cover: NMI = %v, want intermediate", got)
+	}
+}
+
+func TestRefinementOrdering(t *testing.T) {
+	// Moving one vertex should hurt less than moving three.
+	truth := mk([]uint32{0, 1, 2, 3, 4}, []uint32{5, 6, 7, 8, 9})
+	oneOff := mk([]uint32{0, 1, 2, 3}, []uint32{4, 5, 6, 7, 8, 9})
+	threeOff := mk([]uint32{0, 1}, []uint32{2, 3, 4, 5, 6, 7, 8, 9})
+	x, y := Compare(truth, oneOff, 10), Compare(truth, threeOff, 10)
+	if x <= y {
+		t.Fatalf("one-vertex error %v should beat three-vertex error %v", x, y)
+	}
+}
+
+func TestOverlapSensitivity(t *testing.T) {
+	// Detecting the overlap exactly must beat missing it.
+	truth := mk([]uint32{0, 1, 2, 3, 4}, []uint32{4, 5, 6, 7, 8})
+	exact := mk([]uint32{0, 1, 2, 3, 4}, []uint32{4, 5, 6, 7, 8})
+	missed := mk([]uint32{0, 1, 2, 3, 4}, []uint32{5, 6, 7, 8})
+	if x, y := Compare(truth, exact, 9), Compare(truth, missed, 9); x <= y {
+		t.Fatalf("exact overlap %v should beat missed overlap %v", x, y)
+	}
+}
+
+func TestUniverseCommunityCarriesNoInformation(t *testing.T) {
+	// A community equal to the whole universe has zero entropy and must
+	// not blow up the computation.
+	a := mk([]uint32{0, 1, 2, 3})
+	b := mk([]uint32{0, 1, 2, 3}, []uint32{1, 2})
+	got := Compare(a, b, 4)
+	if math.IsNaN(got) || got < 0 || got > 1 {
+		t.Fatalf("degenerate community: NMI = %v", got)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if got := binaryEntropy(0, 10); got != 0 {
+		t.Fatalf("h(0) = %v", got)
+	}
+	if got := binaryEntropy(10, 10); got != 0 {
+		t.Fatalf("h(n) = %v", got)
+	}
+	want := -0.5*math.Log(0.5) - 0.5*math.Log(0.5)
+	if got := binaryEntropy(5, 10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("h(n/2) = %v want %v", got, want)
+	}
+}
+
+func TestConditionalEntropyConstraint(t *testing.T) {
+	// Disjoint communities must be rejected by the eligibility
+	// constraint.
+	if _, ok := conditionalEntropy(10, 10, 0, 1000); ok {
+		t.Fatal("disjoint pair passed the constraint")
+	}
+	// A perfectly matching pair must pass with conditional entropy 0.
+	cond, ok := conditionalEntropy(10, 10, 10, 1000)
+	if !ok || math.Abs(cond) > 1e-12 {
+		t.Fatalf("perfect match: cond=%v ok=%v", cond, ok)
+	}
+}
+
+func TestNoisePerturbationMonotone(t *testing.T) {
+	// Score must decay as more vertices are randomly reassigned.
+	r := rng.New(7)
+	const n = 200
+	var truth [][]uint32
+	for c := 0; c < 10; c++ {
+		var m []uint32
+		for v := 0; v < 20; v++ {
+			m = append(m, uint32(c*20+v))
+		}
+		truth = append(truth, m)
+	}
+	perturb := func(swaps int) *cover.Cover {
+		comms := make([][]uint32, len(truth))
+		for i := range truth {
+			comms[i] = append([]uint32(nil), truth[i]...)
+		}
+		for s := 0; s < swaps; s++ {
+			a, b := r.Intn(10), r.Intn(10)
+			if a == b || len(comms[a]) < 3 {
+				continue
+			}
+			comms[b] = append(comms[b], comms[a][len(comms[a])-1])
+			comms[a] = comms[a][:len(comms[a])-1]
+		}
+		return cover.FromCommunities(comms)
+	}
+	base := cover.FromCommunities(truth)
+	s0 := Compare(base, perturb(0), n)
+	s20 := Compare(base, perturb(20), n)
+	s100 := Compare(base, perturb(100), n)
+	if !(s0 >= s20 && s20 > s100) {
+		t.Fatalf("scores not monotone under noise: %v %v %v", s0, s20, s100)
+	}
+}

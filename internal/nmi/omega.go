@@ -1,0 +1,140 @@
+package nmi
+
+import (
+	"rslpa/internal/cover"
+)
+
+// Omega computes the Omega index (Collins & Dent 1988; the overlapping
+// generalization of the Adjusted Rand Index) between two covers over n
+// vertices. It compares, for every vertex pair, the *number* of communities
+// the pair shares in each cover, correcting for chance agreement:
+//
+//	ω = (obs - exp) / (1 - exp)
+//
+// where obs is the fraction of pairs sharing the same count in both covers
+// and exp its expectation under independence. 1 means identical structure;
+// 0 means chance-level agreement; negative values mean worse than chance.
+//
+// The evaluation in the paper uses NMI only; Omega is provided as a second
+// opinion because NMI_LFK is known to saturate on covers with many small
+// communities. O(n² in the worst case) over vertices appearing in either
+// cover — intended for benchmark-sized graphs.
+func Omega(x, y *cover.Cover, n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	// pairCounts maps vertex pairs to the number of shared communities.
+	countX := pairCounts(x)
+	countY := pairCounts(y)
+
+	total := float64(n) * float64(n-1) / 2
+
+	// Observed agreement: pairs with equal share-counts. Pairs absent
+	// from both maps share 0 communities in both covers and agree.
+	obs := 0.0
+	for k, cx := range countX {
+		if countY[k] == cx {
+			obs++
+		}
+	}
+	// Pairs in X only disagree unless Y has them too (handled above);
+	// pairs in Y only always disagree (X count is 0 < Y count).
+	inEither := float64(len(countX))
+	for k := range countY {
+		if _, ok := countX[k]; !ok {
+			inEither++
+		}
+	}
+	obs += total - inEither // pairs in neither map agree at count 0
+	obs /= total
+
+	// Expected agreement: Σ_j P(count_X = j)·P(count_Y = j).
+	histX := countHistogram(countX, total)
+	histY := countHistogram(countY, total)
+	exp := 0.0
+	for j, px := range histX {
+		if py, ok := histY[j]; ok {
+			exp += px * py
+		}
+	}
+	if exp >= 1 {
+		return 1 // both covers are constant: identical by definition
+	}
+	return (obs - exp) / (1 - exp)
+}
+
+// pairCounts returns, for each unordered vertex pair co-appearing in at
+// least one community, the number of communities containing both.
+func pairCounts(c *cover.Cover) map[uint64]int {
+	counts := make(map[uint64]int)
+	for _, members := range c.Communities() {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				counts[uint64(members[i])<<32|uint64(members[j])]++
+			}
+		}
+	}
+	return counts
+}
+
+// countHistogram converts pair share-counts into a distribution over the
+// count values (including the implicit zero-count mass).
+func countHistogram(counts map[uint64]int, total float64) map[int]float64 {
+	hist := make(map[int]float64)
+	for _, c := range counts {
+		hist[c]++
+	}
+	zero := total
+	for _, v := range hist {
+		zero -= v
+	}
+	for k := range hist {
+		hist[k] /= total
+	}
+	hist[0] += zero / total
+	return hist
+}
+
+// AverageF1 computes the symmetric average-F1 score between two covers
+// (Yang & Leskovec 2013): each community is matched with its best-F1
+// counterpart in the other cover, averaged in both directions. 1 means a
+// perfect one-to-one match.
+func AverageF1(x, y *cover.Cover) float64 {
+	if x.Len() == 0 && y.Len() == 0 {
+		return 1
+	}
+	if x.Len() == 0 || y.Len() == 0 {
+		return 0
+	}
+	return (bestF1(x, y) + bestF1(y, x)) / 2
+}
+
+func bestF1(x, y *cover.Cover) float64 {
+	yOf := make(map[uint32][]int)
+	for j, members := range y.Communities() {
+		for _, v := range members {
+			yOf[v] = append(yOf[v], j)
+		}
+	}
+	ySizes := y.Sizes()
+	total := 0.0
+	for _, xi := range x.Communities() {
+		overlap := make(map[int]int)
+		for _, v := range xi {
+			for _, j := range yOf[v] {
+				overlap[j]++
+			}
+		}
+		best := 0.0
+		for j, common := range overlap {
+			precision := float64(common) / float64(ySizes[j])
+			recall := float64(common) / float64(len(xi))
+			f1 := 2 * precision * recall / (precision + recall)
+			if f1 > best {
+				best = f1
+			}
+		}
+		total += best
+	}
+	return total / float64(x.Len())
+}

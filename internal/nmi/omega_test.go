@@ -1,0 +1,135 @@
+package nmi
+
+import (
+	"math"
+	"testing"
+
+	"rslpa/internal/cover"
+	"rslpa/internal/rng"
+)
+
+func TestOmegaIdentical(t *testing.T) {
+	a := mk([]uint32{0, 1, 2}, []uint32{3, 4, 5}, []uint32{2, 3})
+	if got := Omega(a, a, 6); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self-omega = %v", got)
+	}
+}
+
+func TestOmegaSmallUniverse(t *testing.T) {
+	a := mk([]uint32{0})
+	if Omega(a, a, 1) != 1 {
+		t.Fatal("n=1 omega")
+	}
+}
+
+func TestOmegaChanceLevel(t *testing.T) {
+	// Large random covers agree at chance: omega should be near 0,
+	// far from 1.
+	r := rng.New(3)
+	build := func() *cover.Cover {
+		c := cover.New(10)
+		for k := 0; k < 10; k++ {
+			var m []uint32
+			for v := uint32(0); v < 200; v++ {
+				if r.Intn(10) == 0 {
+					m = append(m, v)
+				}
+			}
+			if len(m) > 1 {
+				c.Add(m)
+			}
+		}
+		return c
+	}
+	got := Omega(build(), build(), 200)
+	if got > 0.15 || got < -0.15 {
+		t.Fatalf("random covers omega = %v, want ~0", got)
+	}
+}
+
+func TestOmegaDetectsOverlapCount(t *testing.T) {
+	// Same communities, but in b one pair is double-covered: omega < 1
+	// even though every community matches — this is what NMI misses and
+	// omega is for.
+	a := mk([]uint32{0, 1, 2}, []uint32{2, 3, 4})
+	b := mk([]uint32{0, 1, 2}, []uint32{2, 3, 4}, []uint32{0, 1})
+	x, y := Omega(a, a, 5), Omega(a, b, 5)
+	if y >= x {
+		t.Fatalf("extra duplicate membership not penalized: %v >= %v", y, x)
+	}
+}
+
+func TestOmegaSymmetric(t *testing.T) {
+	a := mk([]uint32{0, 1, 2, 3}, []uint32{4, 5, 6})
+	b := mk([]uint32{0, 1, 4}, []uint32{2, 3, 5, 6})
+	if x, y := Omega(a, b, 7), Omega(b, a, 7); math.Abs(x-y) > 1e-12 {
+		t.Fatalf("asymmetric omega: %v vs %v", x, y)
+	}
+}
+
+func TestAverageF1Identical(t *testing.T) {
+	a := mk([]uint32{0, 1, 2}, []uint32{3, 4})
+	if got := AverageF1(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self-F1 = %v", got)
+	}
+}
+
+func TestAverageF1Empty(t *testing.T) {
+	e := cover.New(0)
+	a := mk([]uint32{0, 1})
+	if AverageF1(e, e) != 1 || AverageF1(a, e) != 0 || AverageF1(e, a) != 0 {
+		t.Fatal("empty-cover conventions")
+	}
+}
+
+func TestAverageF1PartialMatch(t *testing.T) {
+	truth := mk([]uint32{0, 1, 2, 3}, []uint32{4, 5, 6, 7})
+	half := mk([]uint32{0, 1}, []uint32{4, 5, 6, 7})
+	got := AverageF1(truth, half)
+	if got <= 0.5 || got >= 1 {
+		t.Fatalf("partial F1 = %v, want in (0.5, 1)", got)
+	}
+	// F1 of {0,1} vs {0,1,2,3}: p=1, r=0.5 → 2/3; other side exact → 1.
+	want := ((2.0/3+1)/2 + (2.0/3+1)/2) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("F1 = %v, want %v", got, want)
+	}
+}
+
+func TestAverageF1DisjointIsZero(t *testing.T) {
+	a := mk([]uint32{0, 1})
+	b := mk([]uint32{2, 3})
+	if got := AverageF1(a, b); got != 0 {
+		t.Fatalf("disjoint F1 = %v", got)
+	}
+}
+
+func TestMetricsAgreeOnOrdering(t *testing.T) {
+	// All three metrics must agree that a slightly-perturbed cover beats
+	// a heavily-perturbed one.
+	truth := mk(
+		[]uint32{0, 1, 2, 3, 4},
+		[]uint32{5, 6, 7, 8, 9},
+		[]uint32{10, 11, 12, 13, 14},
+	)
+	slight := mk(
+		[]uint32{0, 1, 2, 3},
+		[]uint32{4, 5, 6, 7, 8, 9},
+		[]uint32{10, 11, 12, 13, 14},
+	)
+	heavy := mk(
+		[]uint32{0, 5, 10, 1, 6},
+		[]uint32{11, 2, 7, 12, 3},
+		[]uint32{8, 13, 4, 9, 14},
+	)
+	n := 15
+	if !(Compare(truth, slight, n) > Compare(truth, heavy, n)) {
+		t.Fatal("NMI ordering violated")
+	}
+	if !(Omega(truth, slight, n) > Omega(truth, heavy, n)) {
+		t.Fatal("Omega ordering violated")
+	}
+	if !(AverageF1(truth, slight) > AverageF1(truth, heavy)) {
+		t.Fatal("F1 ordering violated")
+	}
+}

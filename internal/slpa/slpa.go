@@ -1,0 +1,171 @@
+// Package slpa implements the Speaker-Listener Label Propagation Algorithm
+// (Xie & Szymanski, PAKDD 2012), the baseline the paper compares rSLPA
+// against (Section II-B).
+//
+// Each vertex keeps a growing memory of labels, initialized to its own ID.
+// In every iteration each neighbor ("speaker") sends one label drawn
+// uniformly from its memory, and the vertex ("listener") appends the most
+// frequent received label, breaking ties uniformly at random — the
+// plurality *voting* step whose discontinuous behaviour (paper Example 1,
+// Figure 2) is exactly what rSLPA's uniform picking smooths away. After T
+// iterations, labels whose frequency in a vertex's memory falls below the
+// threshold τ are dropped, and each surviving label names a community.
+//
+// The implementation is the synchronous variant of Kuzmin et al.'s parallel
+// SLPA (the one the paper ports to Spark): all speakers speak from their
+// memories as of the previous iteration, so the result is independent of
+// vertex processing order — a property the distributed driver relies on.
+package slpa
+
+import (
+	"fmt"
+	"sort"
+
+	"rslpa/internal/cover"
+	"rslpa/internal/graph"
+	"rslpa/internal/rng"
+)
+
+// Config configures an SLPA run.
+type Config struct {
+	// T is the number of iterations; the original paper and this one use
+	// T = 100.
+	T int
+	// Tau is the post-processing frequency threshold; the paper's
+	// experiments use τ = 0.2 (≈ 1/om).
+	Tau float64
+	// Seed drives all randomness.
+	Seed uint64
+	// RemoveSubsets additionally drops communities fully contained in
+	// another, the cleanup step of the reference implementation.
+	RemoveSubsets bool
+}
+
+// DefaultT is the iteration count used by the paper for SLPA.
+const DefaultT = 100
+
+// DefaultTau is the membership threshold used by the paper.
+const DefaultTau = 0.2
+
+// Result carries the raw memories and the extracted cover.
+type Result struct {
+	// Memories[v] is vertex v's label memory (length T+1); nil for IDs
+	// not present in the graph.
+	Memories [][]uint32
+	Cover    *cover.Cover
+}
+
+// Run executes SLPA on g and extracts communities by τ-thresholding.
+func Run(g *graph.Graph, cfg Config) (*Result, error) {
+	mem, err := Propagate(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := ExtractCover(g, mem, cfg)
+	return &Result{Memories: mem, Cover: c}, nil
+}
+
+// Propagate runs only the label propagation stage and returns the memories.
+func Propagate(g *graph.Graph, cfg Config) ([][]uint32, error) {
+	if cfg.T <= 0 {
+		return nil, fmt.Errorf("slpa: config T=%d must be positive", cfg.T)
+	}
+	n := g.MaxVertexID()
+	mem := make([][]uint32, n)
+	g.ForEachVertex(func(v uint32) {
+		m := make([]uint32, 1, cfg.T+1)
+		m[0] = v
+		mem[v] = m
+	})
+
+	for t := 1; t <= cfg.T; t++ {
+		// Synchronous super-step: every listener gathers one label per
+		// neighbor, drawn from the speaker's memory of length t.
+		picked := make([]uint32, 0, n)
+		order := make([]uint32, 0, n)
+		g.ForEachVertex(func(v uint32) {
+			label, ok := listen(g, mem, v, t, cfg.Seed)
+			if !ok {
+				label = v // isolated vertex hears only itself
+			}
+			order = append(order, v)
+			picked = append(picked, label)
+		})
+		for i, v := range order {
+			mem[v] = append(mem[v], picked[i])
+		}
+	}
+	return mem, nil
+}
+
+// listen performs one listener step for vertex v at iteration t: collect
+// one uniformly drawn label from each neighbor's memory and return the most
+// frequent, tie-broken uniformly.
+func listen(g *graph.Graph, mem [][]uint32, v uint32, t int, seed uint64) (uint32, bool) {
+	nbrs := g.Neighbors(v)
+	if len(nbrs) == 0 {
+		return 0, false
+	}
+	counts := make(map[uint32]int, len(nbrs))
+	best := 0
+	for _, u := range nbrs {
+		// The speaker's pick is a pure function of (seed, t, speaker,
+		// listener) so the distributed driver reproduces it exactly.
+		s := rng.StreamOf(seed, uint64(t), uint64(u), uint64(v))
+		label := mem[u][s.Intn(t)]
+		counts[label]++
+		if counts[label] > best {
+			best = counts[label]
+		}
+	}
+	// Uniform tie-break over the most frequent labels (paper Figure 1).
+	tied := make([]uint32, 0, 4)
+	for label, c := range counts {
+		if c == best {
+			tied = append(tied, label)
+		}
+	}
+	if len(tied) == 1 {
+		return tied[0], true
+	}
+	sort.Slice(tied, func(i, j int) bool { return tied[i] < tied[j] }) // map order is random; sort for determinism
+	s := rng.StreamOf(seed, uint64(t), uint64(v), 0xdecade)
+	return tied[s.Intn(len(tied))], true
+}
+
+// ExtractCover applies the τ-thresholding stage: every label occupying at
+// least τ of a vertex's memory names a community containing that vertex.
+func ExtractCover(g *graph.Graph, mem [][]uint32, cfg Config) *cover.Cover {
+	byLabel := make(map[uint32][]uint32)
+	g.ForEachVertex(func(v uint32) {
+		m := mem[v]
+		if len(m) == 0 {
+			return
+		}
+		counts := make(map[uint32]int, 8)
+		for _, l := range m {
+			counts[l]++
+		}
+		minCount := cfg.Tau * float64(len(m))
+		for l, c := range counts {
+			if float64(c) >= minCount {
+				byLabel[l] = append(byLabel[l], v)
+			}
+		}
+	})
+	labels := make([]uint32, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	c := cover.New(len(labels))
+	for _, l := range labels {
+		if len(byLabel[l]) >= 2 { // single-vertex label groups are noise
+			c.Add(byLabel[l])
+		}
+	}
+	if cfg.RemoveSubsets {
+		c = c.RemoveSubsets()
+	}
+	return c
+}

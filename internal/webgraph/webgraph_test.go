@@ -1,0 +1,112 @@
+package webgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default(1000).Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{N: 1, OutDegree: 1, CopyProb: 0.5},
+		{N: 100, OutDegree: 0, CopyProb: 0.5},
+		{N: 100, OutDegree: 100, CopyProb: 0.5},
+		{N: 100, OutDegree: 5, CopyProb: 1.5},
+		{N: 100, OutDegree: 5, CopyProb: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Default(500)
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same params produced different graphs")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := Default(5000)
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := g.ComputeStats()
+	if s.Vertices != p.N {
+		t.Fatalf("vertices %d", s.Vertices)
+	}
+	// Average degree ≈ 2·OutDegree less deduplication losses.
+	if s.AvgDegree < float64(p.OutDegree) || s.AvgDegree > 2.2*float64(p.OutDegree) {
+		t.Fatalf("avg degree %.2f outside [d, 2.2d]", s.AvgDegree)
+	}
+	if s.Isolated != 0 {
+		t.Fatalf("%d isolated pages", s.Isolated)
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	// The copy model must produce hubs: the max degree should far exceed
+	// the average (a Poisson/uniform graph would have max ≈ avg + a few
+	// sigma).
+	g, err := Generate(Default(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.ComputeStats()
+	if float64(s.MaxDegree) < 8*s.AvgDegree {
+		t.Fatalf("max degree %d vs avg %.1f: tail too light for a web graph",
+			s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestCopyProbZeroStillConnectedish(t *testing.T) {
+	// Pure uniform attachment (no copying) is the light-tail baseline;
+	// everything must still be wired and valid.
+	g, err := Generate(Params{N: 2000, OutDegree: 5, CopyProb: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.ComputeStats().Isolated != 0 {
+		t.Fatal("isolated vertices with uniform attachment")
+	}
+}
+
+func TestTinyGraph(t *testing.T) {
+	g, err := Generate(Params{N: 5, OutDegree: 2, CopyProb: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 {
+		t.Fatalf("vertices %d", g.NumVertices())
+	}
+}
+
+func TestTableII(t *testing.T) {
+	g, err := Generate(Default(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := TableII(g)
+	if !strings.Contains(out, "# nodes") || !strings.Contains(out, "300") {
+		t.Fatalf("TableII output: %q", out)
+	}
+}

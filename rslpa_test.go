@@ -1,0 +1,201 @@
+package rslpa_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rslpa"
+)
+
+// twoBlocks builds a graph of two dense blocks with a few bridges.
+func twoBlocks() *rslpa.Graph {
+	g := rslpa.NewGraph()
+	block := func(base uint32) {
+		for i := uint32(0); i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				g.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	block(0)
+	block(100)
+	g.AddEdge(0, 100)
+	return g
+}
+
+func TestDetectSequential(t *testing.T) {
+	det, err := rslpa.Detect(twoBlocks(), rslpa.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	res, err := det.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities.Len() < 2 {
+		t.Fatalf("communities: %v", res.Communities.Canonical())
+	}
+	if res.Tau1 < res.Tau2 {
+		t.Fatalf("thresholds inverted: %v < %v", res.Tau1, res.Tau2)
+	}
+}
+
+func TestDetectDistributedMatchesSequential(t *testing.T) {
+	g := twoBlocks()
+	seq, err := rslpa.Detect(g, rslpa.Config{Seed: 9, T: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	dst, err := rslpa.Detect(g, rslpa.Config{Seed: 9, T: 60, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	g.ForEachVertex(func(v uint32) {
+		a, b := seq.Labels(v), dst.Labels(v)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d pos %d: %d vs %d", v, i, a[i], b[i])
+			}
+		}
+	})
+	r1, err := seq.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := dst.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rslpa.NMI(r1.Communities, r2.Communities, g.NumVertices()) < 0.999 {
+		t.Fatal("sequential and distributed covers differ")
+	}
+}
+
+func TestDetectOverTCP(t *testing.T) {
+	g := twoBlocks()
+	det, err := rslpa.Detect(g, rslpa.Config{Seed: 4, T: 30, Workers: 2, TCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	if det.Labels(0) == nil {
+		t.Fatal("no labels after TCP detection")
+	}
+}
+
+func TestUpdateFlow(t *testing.T) {
+	det, err := rslpa.Detect(twoBlocks(), rslpa.Config{Seed: 2, T: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	stats, err := det.Update([]rslpa.Edit{
+		{Op: rslpa.Insert, U: 5, V: 105},
+		{Op: rslpa.Delete, U: 0, V: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 1 || stats.Deleted != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.Repicked == 0 {
+		t.Fatal("update repicked nothing")
+	}
+	if _, err := det.Communities(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectSLPA(t *testing.T) {
+	c, err := rslpa.DetectSLPA(twoBlocks(), rslpa.SLPAConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < 2 {
+		t.Fatalf("SLPA cover: %v", c.Canonical())
+	}
+}
+
+func TestNMIEndpoints(t *testing.T) {
+	g := twoBlocks()
+	det, err := rslpa.Detect(g, rslpa.Config{Seed: 5, T: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	res, err := det.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rslpa.NMI(res.Communities, res.Communities, g.NumVertices()); got != 1 {
+		t.Fatalf("self-NMI = %v", got)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	g, truth, err := rslpa.GenerateLFR(rslpa.DefaultLFR(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 300 || truth.Len() == 0 {
+		t.Fatal("LFR generator via facade broken")
+	}
+	w, err := rslpa.GenerateWebGraph(rslpa.DefaultWebGraph(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumVertices() != 300 {
+		t.Fatal("web generator via facade broken")
+	}
+}
+
+func TestReadEdgeListFacade(t *testing.T) {
+	g, err := rslpa.ReadEdgeList(strings.NewReader("1 2\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatal("facade edge list parse")
+	}
+}
+
+func TestLabelsAccessor(t *testing.T) {
+	det, err := rslpa.Detect(twoBlocks(), rslpa.Config{Seed: 6, T: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	if got := len(det.Labels(0)); got != 26 {
+		t.Fatalf("label sequence length %d, want T+1=26", got)
+	}
+	if det.Labels(9999) != nil {
+		t.Fatal("labels for absent vertex")
+	}
+}
+
+// ExampleDetect demonstrates the basic workflow; the output is stable
+// because detection is deterministic for a fixed seed.
+func ExampleDetect() {
+	g := rslpa.NewGraph()
+	for i := uint32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddEdge(i, j) // one 5-clique
+		}
+	}
+	det, err := rslpa.Detect(g, rslpa.Config{Seed: 1, T: 50})
+	if err != nil {
+		panic(err)
+	}
+	defer det.Close()
+	res, err := det.Communities()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Communities.Canonical()[0]) == 5)
+	// Output: true
+}
