@@ -1,0 +1,3 @@
+module rslpa
+
+go 1.24

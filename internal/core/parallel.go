@@ -66,8 +66,7 @@ func RunParallel(g *graph.Graph, cfg Config, workers int) (*State, error) {
 				defer wg.Done()
 				out := picks[si][:0]
 				for _, v := range shard {
-					stream := s.pickStream(0, v, t)
-					src, pos := s.drawPick(&stream, v, t)
+					src, pos := InitialPick(s.cfg, v, t, s.g.Neighbors(v))
 					out = append(out, pick{v: v, src: src, pos: pos})
 				}
 				picks[si] = out

@@ -47,7 +47,6 @@ import (
 	"fmt"
 
 	"rslpa/internal/graph"
-	"rslpa/internal/rng"
 )
 
 // Config configures a propagation run.
@@ -108,8 +107,7 @@ func Run(g *graph.Graph, cfg Config) (*State, error) {
 	// exactly the BSP computation of Algorithm 1.
 	for t := 1; t <= cfg.T; t++ {
 		s.g.ForEachVertex(func(v uint32) {
-			stream := s.pickStream(0, v, t)
-			src, pos := s.drawPick(&stream, v, t)
+			src, pos := InitialPick(s.cfg, v, t, s.g.Neighbors(v))
 			s.install(v, int32(t), src, pos)
 		})
 	}
@@ -131,33 +129,6 @@ func (s *State) initVertex(v uint32) {
 	s.labels[v] = labels
 	s.src[v] = srcs
 	s.pos[v] = poss
-}
-
-// pickStream derives the deterministic random stream for the pick of vertex
-// v at iteration t during update epoch e (e=0 is the initial run).
-func (s *State) pickStream(e uint64, v uint32, t int) rng.Stream {
-	return rng.StreamOf(s.cfg.Seed, e, uint64(v), uint64(t))
-}
-
-// drawPick uniformly draws (src, pos) for vertex v at iteration t from its
-// effective neighbor set.
-func (s *State) drawPick(stream *rng.Stream, v uint32, t int) (src uint32, pos int32) {
-	nbrs := s.g.Neighbors(v)
-	if len(nbrs) == 0 {
-		src = v // effective neighbor set {v}
-	} else {
-		src = nbrs[stream.Intn(len(nbrs))]
-	}
-	pos = int32(stream.Intn(t))
-	return src, pos
-}
-
-// drawFrom uniformly draws a source from an explicit candidate set and a
-// fresh position.
-func drawFrom(stream *rng.Stream, candidates []uint32, t int32) (src uint32, pos int32) {
-	src = candidates[stream.Intn(len(candidates))]
-	pos = int32(stream.Intn(int(t)))
-	return src, pos
 }
 
 // install sets vertex v's pick for iteration t to (src, pos), copying the

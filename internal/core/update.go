@@ -123,78 +123,22 @@ func (s *State) Update(batch []graph.Edit) UpdateStats {
 // repickVertex applies the Category 1/2/3 analysis to every label slot of
 // an affected vertex. delta maps neighbor -> +1 (added) / -1 (removed).
 // Slots that get a new (src, pos) are marked dirty. It returns the number
-// of re-picked slots.
+// of re-picked slots. The decision rules live in RepickPlan, shared with
+// the distributed driver.
 func (s *State) repickVertex(v uint32, delta map[uint32]int8, dirty [][]uint32) int {
-	newNbrs := s.g.Neighbors(v)
-	newDeg := len(newNbrs)
-	added := make([]uint32, 0, len(delta))
-	removedCount := 0
-	for u, d := range delta {
-		if d > 0 {
-			added = append(added, u)
-		} else {
-			removedCount++
-		}
-	}
-	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
-	oldDeg := newDeg - len(added) + removedCount
-
-	// Effective-set bookkeeping (N_eff = {v} when the vertex is isolated):
-	// nu = |oldEff ∩ newEff|, and the "new arrivals" to pick from.
-	var nu int
-	var arrivals []uint32 // newEff \ oldEff
-	switch {
-	case oldDeg > 0 && newDeg > 0:
-		nu = newDeg - len(added)
-		arrivals = added
-	case oldDeg == 0 && newDeg > 0:
-		nu = 0
-		arrivals = newNbrs // oldEff was {v}; every current neighbor is new
-	case oldDeg > 0 && newDeg == 0:
-		nu = 0
-		arrivals = []uint32{v} // newEff is {v}
-	default:
-		return 0 // {v} -> {v}: nothing changed
+	plan := NewRepickPlan(v, delta, s.g.Neighbors(v))
+	if !plan.Active() {
+		return 0
 	}
 
 	repicked := 0
 	T := int32(s.cfg.T)
 	for t := int32(1); t <= T; t++ {
 		oldSrc := s.src[v][t]
-		removed := oldSrc < 0 || // fresh-vertex sentinel: must draw now
-			oldDeg == 0 || // src was the {v} placeholder, eff set replaced
-			newDeg == 0 || // all real neighbors gone
-			delta[uint32(oldSrc)] < 0 // picked through a deleted edge
-
-		var newSrc uint32
-		var newPos int32
-		switch {
-		case removed:
-			// Category 2 (deleted source) or a fresh slot: pick a new
-			// label uniformly from all current effective neighbors.
-			stream := s.pickStream(s.epoch, v, int(t))
-			if newDeg == 0 {
-				newSrc = v
-				newPos = int32(stream.Intn(int(t)))
-			} else {
-				newSrc, newPos = drawFrom(&stream, newNbrs, t)
-			}
-		case len(arrivals) > 0:
-			// Category 3 (Theorem 5): keep the pick with probability
-			// nu/(nu+na); otherwise pick uniformly among the arrivals.
-			// A single uniform draw over nu+na outcomes realizes both
-			// branches exactly.
-			stream := s.pickStream(s.epoch, v, int(t))
-			r := stream.Intn(nu + len(arrivals))
-			if r < nu {
-				continue // kept unchanged (Theorem 4 applies)
-			}
-			newSrc = arrivals[r-nu]
-			newPos = int32(stream.Intn(int(t)))
-		default:
-			continue // Category 1: neighbors only gained nothing / lost nothing relevant
+		newSrc, newPos, rp := plan.Slot(s.cfg, s.epoch, t, oldSrc)
+		if !rp {
+			continue
 		}
-
 		if oldSrc >= 0 {
 			s.dropRecord(uint32(oldSrc), s.pos[v][t], v, t)
 		}

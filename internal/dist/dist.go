@@ -1,0 +1,171 @@
+// Package dist executes the paper's algorithms on the partitioned BSP
+// engine of internal/cluster — the distributed half of "On Efficiently
+// Detecting Overlapping Communities over Distributed Dynamic Graphs".
+//
+// # Partitioning model
+//
+// Vertices are assigned to the engine's P workers by Engine.Owner. Each
+// worker holds, for the vertices it owns, the adjacency lists, the label
+// matrix, the (src, pos) pick provenance, and the reverse records; no state
+// is shared between workers — everything a worker learns about a remote
+// vertex arrives as a fixed-shape cluster.Message, so the same drivers run
+// unchanged over the in-memory and loopback-TCP transports.
+//
+// # BSP supersteps
+//
+// Every phase is a sequence of barrier-separated supersteps keyed on the
+// engine's round number:
+//
+//   - rSLPA propagation (Algorithm 1) costs two rounds per iteration: each
+//     owner draws its vertices' (src, pos) picks — a pure function of
+//     (seed, vertex, iteration), see core.InitialPick — and sends one
+//     request to the source's owner, which installs the reverse record and
+//     replies with the label value: 2|V| messages per iteration, the
+//     O(|V|)-vs-O(|E|) communication claim of Section III-A.
+//   - SLPA propagation costs one round per iteration but one message per
+//     directed edge (every speaker pushes one label to every neighbor):
+//     2|E| messages per iteration.
+//   - Incremental repair (Algorithm 2) applies the batch locally, repicks
+//     affected slots with the shared core.RepickPlan rules, fixes the
+//     record lists with drop/add messages, and then runs correction
+//     propagation level-synchronously: three rounds per level (dirty-mark
+//     ingestion + value request, value reply, value install + cascade), so
+//     a level only reads labels that earlier levels have finalized —
+//     exactly the invariant the sequential Update exploits.
+//
+// Because every random decision is a pure function of
+// (seed, epoch, vertex, iteration) and the per-worker adjacency shards
+// replay the identical mutation order as the sequential graph, the label
+// matrices are bit-identical to internal/core's for any worker count, which
+// the equivalence tests assert.
+package dist
+
+import (
+	"rslpa/internal/cluster"
+	"rslpa/internal/core"
+)
+
+// Message kinds; operand meanings are per kind (A..D of cluster.Message).
+const (
+	// kindPickReq asks the owner of src A for the label at position B, on
+	// behalf of vertex C's slot D.
+	kindPickReq uint8 = iota + 1
+	// kindPickRep delivers label value C for vertex A's slot B.
+	kindPickRep
+	// kindDropRec removes record {Pos: B, Tar: C, Iter: D} at source A.
+	kindDropRec
+	// kindAddRec appends record {Pos: B, Tar: C, Iter: D} at source A.
+	kindAddRec
+	// kindDirty marks vertex A's slot B for correction at level B.
+	kindDirty
+	// kindSeq ships label-sequence element: vertex A's slot B holds C.
+	kindSeq
+	// kindWeight reports common-label count C for edge (A, B) to master.
+	kindWeight
+	// kindSpeak delivers one spoken label B to listener A.
+	kindSpeak
+)
+
+// shard is one worker's slice of the rSLPA state: adjacency, label matrix,
+// pick provenance, and reverse records for owned vertices only. All slices
+// are globally indexed (index = vertex ID) with zero entries for vertices
+// this worker does not own; that trades P× index memory for branch-free
+// lookups, which is fine at the laptop scales this repo targets.
+type shard struct {
+	exists []bool
+	adj    [][]uint32
+	labels [][]uint32
+	src    [][]int32
+	pos    [][]int32
+	recv   [][]core.Record
+	owned  []uint32 // owned present vertices, the per-round iteration order
+}
+
+// growTo extends the per-vertex arrays to cover vertex ID v.
+func (sh *shard) growTo(v uint32) {
+	for int(v) >= len(sh.exists) {
+		sh.exists = append(sh.exists, false)
+		sh.adj = append(sh.adj, nil)
+		sh.labels = append(sh.labels, nil)
+		sh.src = append(sh.src, nil)
+		sh.pos = append(sh.pos, nil)
+		sh.recv = append(sh.recv, nil)
+	}
+}
+
+// addVertex makes v present, allocating its label slots with the initial
+// label l⁰_v = v and sentinel picks, mirroring core.State.initVertex.
+func (sh *shard) addVertex(v uint32, T int) {
+	sh.growTo(v)
+	if sh.exists[v] {
+		return
+	}
+	sh.exists[v] = true
+	sh.owned = append(sh.owned, v)
+	if sh.labels[v] == nil {
+		labels := make([]uint32, T+1)
+		srcs := make([]int32, T+1)
+		poss := make([]int32, T+1)
+		for i := range labels {
+			labels[i] = v
+			srcs[i] = -1
+			poss[i] = -1
+		}
+		sh.labels[v] = labels
+		sh.src[v] = srcs
+		sh.pos[v] = poss
+	}
+}
+
+// hasNbr reports whether u's adjacency (owned by this shard) contains v.
+func (sh *shard) hasNbr(u, v uint32) bool {
+	if int(u) >= len(sh.adj) {
+		return false
+	}
+	for _, w := range sh.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// addNbr appends v to u's adjacency — the same append graph.Graph.AddEdge
+// performs, so shard neighbor order tracks the sequential graph exactly
+// (the category draws index into that order).
+func (sh *shard) addNbr(u, v uint32) { sh.adj[u] = append(sh.adj[u], v) }
+
+// removeNbr deletes v from u's adjacency by swap-removal, byte-for-byte the
+// reordering graph.Graph.removeHalf applies.
+func (sh *shard) removeNbr(u, v uint32) {
+	list := sh.adj[u]
+	for i, w := range list {
+		if w == v {
+			last := len(list) - 1
+			list[i] = list[last]
+			sh.adj[u] = list[:last]
+			return
+		}
+	}
+}
+
+// dropRecord removes the record {pos, tar, iter} from source vertex src's
+// list (no-op when absent), mirroring core.State.dropRecord.
+func (sh *shard) dropRecord(src uint32, pos int32, tar uint32, iter int32) {
+	list := sh.recv[src]
+	for i, rec := range list {
+		if rec.Pos == pos && rec.Tar == tar && rec.Iter == iter {
+			last := len(list) - 1
+			list[i] = list[last]
+			sh.recv[src] = list[:last]
+			return
+		}
+	}
+}
+
+// phaseStats charges an algorithm phase: Rounds counts the phase's logical
+// supersteps (label-propagation iterations or correction levels), while
+// Messages and Bytes are the engine's measured wire traffic for the phase.
+func phaseStats(rounds int, delta cluster.Stats) cluster.Stats {
+	return cluster.Stats{Rounds: int64(rounds), Messages: delta.Messages, Bytes: delta.Bytes}
+}

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"fmt"
+
+	"rslpa/internal/cluster"
+	"rslpa/internal/cover"
+	"rslpa/internal/postprocess"
+)
+
+// Postprocess extracts overlapping communities from a propagated (and
+// possibly updated) distributed rSLPA state, producing the same Result as
+// the sequential postprocess.Extract on the same labels.
+//
+// The expensive part — one common-label count per edge — runs on the
+// partitions: every edge is charged to the owner of its smaller endpoint,
+// boundary label sequences are shipped to where they are needed, and each
+// worker reduces its edges to integer common-label counts that flow to the
+// master (worker 0). The master then performs the τ₁/τ₂ selection and
+// community assembly, as the paper's driver does on gathered weights.
+// Counts travel as exact integers, so the final weights are bit-identical
+// to the sequential ones.
+func Postprocess(eng *cluster.Engine, d *RSLPA, cfg postprocess.Config) (*postprocess.Result, error) {
+	if eng != d.eng {
+		return nil, fmt.Errorf("dist: Postprocess engine differs from the driver's")
+	}
+	if !d.run {
+		return nil, fmt.Errorf("dist: Postprocess before Propagate")
+	}
+	if d.g.NumVertices() == 0 {
+		return &postprocess.Result{Cover: cover.New(0)}, nil
+	}
+
+	p := eng.Workers()
+	var gathered []cluster.Message
+	remote := make([]map[uint32][]uint32, p)        // per worker: shipped sequences
+	counts := make([]map[uint32]map[uint32]uint32, p) // per worker: label histograms
+	for w := range remote {
+		remote[w] = make(map[uint32][]uint32)
+		counts[w] = make(map[uint32]map[uint32]uint32)
+	}
+	T1 := d.cfg.T + 1
+
+	step := func(w, round int, inbox []cluster.Message, emit cluster.Emitter) (bool, error) {
+		sh := d.shards[w]
+		switch round {
+		case 0:
+			// Ship each owned vertex's sequence to the workers that compute
+			// an incident edge but do not own this endpoint.
+			targets := make([]bool, p)
+			for _, u := range sh.owned {
+				for i := range targets {
+					targets[i] = false
+				}
+				for _, v := range sh.adj[u] {
+					if v < u { // edge (v, u) is computed at v's owner
+						if o := d.eng.Owner(v); o != w {
+							targets[o] = true
+						}
+					}
+				}
+				for to, need := range targets {
+					if !need {
+						continue
+					}
+					for i, l := range sh.labels[u] {
+						emit(to, cluster.Message{Kind: kindSeq, A: u, B: uint32(i), C: l})
+					}
+				}
+			}
+			return true, nil
+		case 1:
+			// Reassemble shipped sequences, then reduce every owned edge to
+			// its common-label count and send it to the master.
+			for _, m := range inbox {
+				seq := remote[w][m.A]
+				if seq == nil {
+					seq = make([]uint32, T1)
+					remote[w][m.A] = seq
+				}
+				seq[m.B] = m.C
+			}
+			// Each sequence's label histogram is built once and reused for
+			// every incident edge (a hub's sequence would otherwise be
+			// re-counted per neighbor).
+			countsOf := func(x uint32, seq []uint32) map[uint32]uint32 {
+				if c, ok := counts[w][x]; ok {
+					return c
+				}
+				c := make(map[uint32]uint32, 16)
+				for _, l := range seq {
+					c[l]++
+				}
+				counts[w][x] = c
+				return c
+			}
+			for _, v := range sh.owned {
+				for _, u := range sh.adj[v] {
+					if v >= u {
+						continue
+					}
+					seqU := remote[w][u]
+					if d.eng.Owner(u) == w {
+						seqU = sh.labels[u]
+					}
+					common := commonCount(countsOf(v, sh.labels[v]), countsOf(u, seqU), cfg.Metric)
+					emit(0, cluster.Message{Kind: kindWeight, A: v, B: u, C: common})
+				}
+			}
+			return true, nil
+		default:
+			if w == 0 {
+				gathered = append(gathered, inbox...)
+			}
+			return false, nil
+		}
+	}
+	if _, err := eng.RunRounds(step, 3); err != nil {
+		return nil, err
+	}
+
+	// Master side: counts -> weights (the same floating-point expressions
+	// as postprocess.EdgeWeights), then threshold selection and assembly.
+	lu := float64(T1)
+	edges := make([]postprocess.WeightedEdge, 0, len(gathered))
+	for _, m := range gathered {
+		w := float64(m.C) / lu
+		if cfg.Metric == postprocess.SameLabelProbability {
+			w = float64(m.C) / (lu * lu)
+		}
+		edges = append(edges, postprocess.WeightedEdge{U: m.A, V: m.B, W: w})
+	}
+	return postprocess.ExtractFromWeights(d.g, edges, cfg)
+}
+
+// commonCount reduces two label histograms to the integer numerator of the
+// similarity weight: Σ_l min(f_a(l), f_b(l)) for Intersection and
+// Σ_l f_a(l)·f_b(l) for SameLabelProbability — the exact quantities
+// postprocess.EdgeWeights computes from its run-length encodings.
+func commonCount(a, b map[uint32]uint32, metric postprocess.WeightMetric) uint32 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var common uint32
+	for l, ca := range a {
+		cb := b[l]
+		if metric == postprocess.SameLabelProbability {
+			common += ca * cb
+		} else if ca < cb {
+			common += ca
+		} else {
+			common += cb
+		}
+	}
+	return common
+}

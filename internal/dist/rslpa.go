@@ -1,0 +1,352 @@
+package dist
+
+import (
+	"fmt"
+
+	"rslpa/internal/cluster"
+	"rslpa/internal/core"
+	"rslpa/internal/graph"
+)
+
+// RSLPA is the distributed rSLPA driver: Algorithm 1 as BSP supersteps over
+// the engine's partitions, plus Algorithm 2 for incremental repair. Create
+// with NewRSLPA, call Propagate once, then any number of Update batches.
+// The label matrix is bit-identical to core.Run / core.State.Update on the
+// same graph, seed and batches, for any worker count and transport.
+type RSLPA struct {
+	eng    *cluster.Engine
+	cfg    core.Config
+	g      *graph.Graph // master copy, kept in step with the shards
+	shards []*shard
+	epoch  uint64
+	run    bool
+
+	// PropagateStats reports the cost of Propagate: Rounds is the number of
+	// label-propagation iterations (T) and Messages/Bytes the wire traffic
+	// the engine moved for them (2|V| messages per iteration).
+	PropagateStats cluster.Stats
+	// LastUpdate reports the wire cost of the most recent Update call;
+	// here Rounds counts raw BSP supersteps (up to three per correction
+	// level plus the repick round — the engine's own accounting).
+	LastUpdate cluster.Stats
+}
+
+// NewRSLPA partitions g over the engine's workers and returns a driver
+// ready to Propagate. The graph is copied; apply later changes through
+// Update.
+func NewRSLPA(eng *cluster.Engine, g *graph.Graph, cfg core.Config) (*RSLPA, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("dist: nil engine")
+	}
+	if cfg.T <= 0 {
+		return nil, fmt.Errorf("dist: config T=%d must be positive", cfg.T)
+	}
+	d := &RSLPA{eng: eng, cfg: cfg, g: g.Clone()}
+	d.shards = make([]*shard, eng.Workers())
+	for w := range d.shards {
+		d.shards[w] = &shard{}
+	}
+	d.g.ForEachVertex(func(v uint32) {
+		sh := d.shards[eng.Owner(v)]
+		sh.addVertex(v, cfg.T)
+		// Copy the adjacency in graph order: the pick draws index into it.
+		sh.adj[v] = append([]uint32(nil), d.g.Neighbors(v)...)
+	})
+	return d, nil
+}
+
+// Labels returns vertex v's label sequence (length T+1), or nil for absent
+// vertices. The slice is owned by the driver; callers must not mutate it.
+func (d *RSLPA) Labels(v uint32) []uint32 {
+	sh := d.shards[d.eng.Owner(v)]
+	if int(v) >= len(sh.exists) || !sh.exists[v] {
+		return nil
+	}
+	return sh.labels[v]
+}
+
+// T returns the configured iteration count.
+func (d *RSLPA) T() int { return d.cfg.T }
+
+// Graph returns the driver's current master graph. The caller must not
+// mutate it; use Update.
+func (d *RSLPA) Graph() *graph.Graph { return d.g }
+
+// Propagate executes Algorithm 1: T iterations, each one request/reply
+// round pair. At round 2(t-1) every owner draws its vertices' picks for
+// iteration t and asks the source's owner for the label value; at round
+// 2t-1 the source owner installs the reverse record and replies; the value
+// lands at round 2t, before any reply for iteration t+1 can read it.
+func (d *RSLPA) Propagate() error {
+	if d.run {
+		return fmt.Errorf("dist: Propagate called twice")
+	}
+	T := d.cfg.T
+	before := d.eng.Stats()
+	step := func(w, round int, inbox []cluster.Message, emit cluster.Emitter) (bool, error) {
+		sh := d.shards[w]
+		if round%2 == 0 {
+			// Install the replies for iteration round/2.
+			for _, m := range inbox {
+				sh.labels[m.A][m.B] = m.C
+			}
+			t := round/2 + 1
+			if t > T {
+				return false, nil
+			}
+			for _, v := range sh.owned {
+				src, pos := core.InitialPick(d.cfg, v, t, sh.adj[v])
+				sh.src[v][t] = int32(src)
+				sh.pos[v][t] = pos
+				emit(d.eng.Owner(src), cluster.Message{
+					Kind: kindPickReq, A: src, B: uint32(pos), C: v, D: uint32(t),
+				})
+			}
+			return true, nil
+		}
+		// Serve the requests: record the pick at the source, reply with the
+		// label value (position B < t is final by the level invariant).
+		for _, m := range inbox {
+			sh.recv[m.A] = append(sh.recv[m.A], core.Record{
+				Pos: int32(m.B), Tar: m.C, Iter: int32(m.D),
+			})
+			emit(d.eng.Owner(m.C), cluster.Message{
+				Kind: kindPickRep, A: m.C, B: m.D, C: sh.labels[m.A][m.B],
+			})
+		}
+		return true, nil
+	}
+	if _, err := d.eng.RunRounds(step, 2*T+1); err != nil {
+		return err
+	}
+	d.run = true
+	d.PropagateStats = phaseStats(T, d.eng.Stats().Sub(before))
+	return nil
+}
+
+// updScratch is one worker's cross-round state during an Update run.
+type updScratch struct {
+	stats   core.UpdateStats
+	dirtyQ  [][]uint32 // dirtyQ[t]: owned slots awaiting a value request
+	stamp   []int32    // last level a vertex was requested at (dedup)
+	pending int        // queued-not-yet-requested entries across all levels
+}
+
+func (u *updScratch) mark(v uint32, t int32) {
+	u.dirtyQ[t] = append(u.dirtyQ[t], v)
+	u.pending++
+}
+
+// Update applies a batch of edge edits and runs Correction Propagation
+// (Algorithm 2) across the partitions. Round 0 applies the batch to every
+// shard and repicks affected slots with the shared core.RepickPlan rules
+// (emitting record drop/add fixups); each level t then costs three rounds —
+// R1 ingests dirty marks and emits value requests, R2 replies, R3 installs
+// the value and cascades new dirty marks to the slots that copied it. A
+// cascade from level t only targets levels > t, so marks always arrive
+// before their level's R1.
+func (d *RSLPA) Update(batch []graph.Edit) (core.UpdateStats, error) {
+	if !d.run {
+		return core.UpdateStats{}, fmt.Errorf("dist: Update before Propagate")
+	}
+	d.epoch++
+	T := d.cfg.T
+	before := d.eng.Stats()
+
+	scratch := make([]*updScratch, d.eng.Workers())
+	for w := range scratch {
+		scratch[w] = &updScratch{dirtyQ: make([][]uint32, T+1)}
+	}
+
+	step := func(w, round int, inbox []cluster.Message, emit cluster.Emitter) (bool, error) {
+		sh := d.shards[w]
+		sc := scratch[w]
+		if round == 0 {
+			d.applyBatch(sh, sc, w, batch, emit)
+			return sc.pending > 0, nil
+		}
+		lvl := int32((round-1)/3 + 1)
+		switch (round - 1) % 3 {
+		case 0: // R1: ingest record fixups and dirty marks, emit requests.
+			for _, m := range inbox {
+				switch m.Kind {
+				case kindDropRec:
+					sh.dropRecord(m.A, int32(m.B), m.C, int32(m.D))
+				case kindAddRec:
+					sh.recv[m.A] = append(sh.recv[m.A], core.Record{
+						Pos: int32(m.B), Tar: m.C, Iter: int32(m.D),
+					})
+				case kindDirty:
+					sc.mark(m.A, int32(m.B))
+				}
+			}
+			if sc.stamp == nil {
+				sc.stamp = make([]int32, len(sh.exists))
+				for i := range sc.stamp {
+					sc.stamp[i] = -1
+				}
+			}
+			for _, v := range sc.dirtyQ[lvl] {
+				sc.pending--
+				if sc.stamp[v] == lvl {
+					continue // duplicate mark within this level
+				}
+				sc.stamp[v] = lvl
+				sc.stats.Touched++
+				src := uint32(sh.src[v][lvl])
+				emit(d.eng.Owner(src), cluster.Message{
+					Kind: kindPickReq, A: src, B: uint32(sh.pos[v][lvl]), C: v, D: uint32(lvl),
+				})
+			}
+			sc.dirtyQ[lvl] = nil
+		case 1: // R2: serve value requests (levels < lvl are final).
+			for _, m := range inbox {
+				emit(d.eng.Owner(m.C), cluster.Message{
+					Kind: kindPickRep, A: m.C, B: m.D, C: sh.labels[m.A][m.B],
+				})
+			}
+		case 2: // R3: install values, cascade to the slots that copied them.
+			for _, m := range inbox {
+				v, t, val := m.A, int32(m.B), m.C
+				if sh.labels[v][t] == val {
+					continue
+				}
+				sh.labels[v][t] = val
+				sc.stats.Changed++
+				for _, rec := range sh.recv[v] {
+					if rec.Pos == t {
+						emit(d.eng.Owner(rec.Tar), cluster.Message{
+							Kind: kindDirty, A: rec.Tar, B: uint32(rec.Iter),
+						})
+					}
+				}
+			}
+		}
+		return sc.pending > 0, nil
+	}
+	if _, err := d.eng.RunRounds(step, 1+3*T); err != nil {
+		return core.UpdateStats{}, err
+	}
+
+	// Mirror the batch on the master graph (same AddEdge/RemoveEdge order
+	// as the shards, so adjacency order stays in lockstep).
+	d.g.Apply(batch)
+
+	var stats core.UpdateStats
+	for _, sc := range scratch {
+		stats.Inserted += sc.stats.Inserted
+		stats.Deleted += sc.stats.Deleted
+		stats.Repicked += sc.stats.Repicked
+		stats.Touched += sc.stats.Touched
+		stats.Changed += sc.stats.Changed
+	}
+	d.LastUpdate = d.eng.Stats().Sub(before)
+	return stats, nil
+}
+
+// applyBatch is Update's round 0 for one worker: replay the batch against
+// the local shard (edits touching no owned endpoint are skipped, and both
+// endpoint owners reach the same changed/no-op verdict because adjacency
+// symmetry is an invariant), accumulate the net neighbor delta, repick the
+// affected slots, and emit the record drop/add fixups.
+func (d *RSLPA) applyBatch(sh *shard, sc *updScratch, w int, batch []graph.Edit, emit cluster.Emitter) {
+	delta := make(map[uint32]map[uint32]int8)
+	bump := func(v, u uint32, dd int8) {
+		m := delta[v]
+		if m == nil {
+			m = make(map[uint32]int8)
+			delta[v] = m
+		}
+		if m[u] += dd; m[u] == 0 {
+			delete(m, u)
+		}
+	}
+	for _, e := range batch {
+		ownsU := d.eng.Owner(e.U) == w
+		ownsV := d.eng.Owner(e.V) == w
+		if !ownsU && !ownsV {
+			continue
+		}
+		switch e.Op {
+		case graph.Insert:
+			if e.U == e.V {
+				continue // graph.AddEdge rejects self-loops
+			}
+			// The changed verdict from whichever endpoint is local.
+			var changed bool
+			if ownsU {
+				sh.growTo(e.U)
+				changed = !sh.hasNbr(e.U, e.V)
+			} else {
+				sh.growTo(e.V)
+				changed = !sh.hasNbr(e.V, e.U)
+			}
+			if !changed {
+				continue
+			}
+			if ownsU {
+				sh.addVertex(e.U, d.cfg.T)
+				sh.addNbr(e.U, e.V)
+				bump(e.U, e.V, 1)
+				sc.stats.Inserted++ // count each changed edit once, at U's owner
+			}
+			if ownsV {
+				sh.addVertex(e.V, d.cfg.T)
+				sh.addNbr(e.V, e.U)
+				bump(e.V, e.U, 1)
+			}
+		case graph.Delete:
+			var changed bool
+			if ownsU {
+				changed = sh.hasNbr(e.U, e.V)
+			} else {
+				changed = sh.hasNbr(e.V, e.U)
+			}
+			if !changed {
+				continue
+			}
+			if ownsU {
+				sh.removeNbr(e.U, e.V)
+				bump(e.U, e.V, -1)
+			}
+			if ownsV {
+				sh.removeNbr(e.V, e.U)
+				bump(e.V, e.U, -1)
+			}
+			if ownsU {
+				sc.stats.Deleted++
+			}
+		}
+	}
+
+	// Repick the affected slots (Algorithm 2 lines 1-12) and fix the
+	// record lists at whichever workers own the old and new sources.
+	for v, dm := range delta {
+		if len(dm) == 0 {
+			continue
+		}
+		plan := core.NewRepickPlan(v, dm, sh.adj[v])
+		if !plan.Active() {
+			continue
+		}
+		for t := int32(1); t <= int32(d.cfg.T); t++ {
+			oldSrc := sh.src[v][t]
+			newSrc, newPos, rp := plan.Slot(d.cfg, d.epoch, t, oldSrc)
+			if !rp {
+				continue
+			}
+			if oldSrc >= 0 {
+				emit(d.eng.Owner(uint32(oldSrc)), cluster.Message{
+					Kind: kindDropRec, A: uint32(oldSrc), B: uint32(sh.pos[v][t]), C: v, D: uint32(t),
+				})
+			}
+			sh.src[v][t] = int32(newSrc)
+			sh.pos[v][t] = newPos
+			emit(d.eng.Owner(newSrc), cluster.Message{
+				Kind: kindAddRec, A: newSrc, B: uint32(newPos), C: v, D: uint32(t),
+			})
+			sc.mark(v, t)
+			sc.stats.Repicked++
+		}
+	}
+}

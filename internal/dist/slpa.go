@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"rslpa/internal/cluster"
+	"rslpa/internal/graph"
+	"rslpa/internal/rng"
+	"rslpa/internal/slpa"
+)
+
+// SLPA is the distributed Speaker-Listener LPA baseline: one superstep per
+// iteration, one message per directed edge — the O(|E|) communication
+// pattern rSLPA was designed to beat. Memories are bit-identical to
+// slpa.Propagate for the same seed.
+type SLPA struct {
+	eng   *cluster.Engine
+	cfg   slpa.Config
+	maxID int
+	adj   [][][]uint32 // adj[w][v]: adjacency of owned vertices
+	mem   [][][]uint32 // mem[w][v]: label memory of owned vertices
+	owned [][]uint32
+	run   bool
+
+	// PropagateStats reports the cost of Propagate: Rounds is the number of
+	// iterations (T), Messages/Bytes the wire traffic (2|E| per iteration).
+	PropagateStats cluster.Stats
+}
+
+// NewSLPA partitions g over the engine's workers.
+func NewSLPA(eng *cluster.Engine, g *graph.Graph, cfg slpa.Config) (*SLPA, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("dist: nil engine")
+	}
+	if cfg.T <= 0 {
+		return nil, fmt.Errorf("dist: slpa config T=%d must be positive", cfg.T)
+	}
+	p := eng.Workers()
+	d := &SLPA{eng: eng, cfg: cfg, maxID: g.MaxVertexID()}
+	d.adj = make([][][]uint32, p)
+	d.mem = make([][][]uint32, p)
+	d.owned = make([][]uint32, p)
+	for w := 0; w < p; w++ {
+		d.adj[w] = make([][]uint32, d.maxID)
+		d.mem[w] = make([][]uint32, d.maxID)
+	}
+	g.ForEachVertex(func(v uint32) {
+		w := eng.Owner(v)
+		d.adj[w][v] = append([]uint32(nil), g.Neighbors(v)...)
+		m := make([]uint32, 1, cfg.T+1)
+		m[0] = v
+		d.mem[w][v] = m
+		d.owned[w] = append(d.owned[w], v)
+	})
+	return d, nil
+}
+
+// Propagate runs T speaker/listener iterations. At round r every owner
+// speaks for iteration r+1 — each owned vertex pushes one label drawn from
+// its memory to every neighbor (the speaker's pick is a pure function of
+// (seed, t, speaker, listener), exactly slpa.listen's derivation) — and
+// listens for iteration r, appending the plurality label of the messages
+// that arrived, with slpa's uniform tie-break.
+func (d *SLPA) Propagate() error {
+	if d.run {
+		return fmt.Errorf("dist: Propagate called twice")
+	}
+	T := d.cfg.T
+	before := d.eng.Stats()
+	step := func(w, round int, inbox []cluster.Message, emit cluster.Emitter) (bool, error) {
+		adj, mem := d.adj[w], d.mem[w]
+		if round >= 1 {
+			t := round
+			// Listener step: tally the labels spoken to each owned vertex.
+			counts := make(map[uint32]map[uint32]int)
+			for _, m := range inbox {
+				c := counts[m.A]
+				if c == nil {
+					c = make(map[uint32]int, 8)
+					counts[m.A] = c
+				}
+				c[m.B]++
+			}
+			for _, v := range d.owned[w] {
+				label := v // isolated vertex hears only itself
+				if c := counts[v]; c != nil {
+					label = plurality(c, d.cfg.Seed, t, v)
+				}
+				mem[v] = append(mem[v], label)
+			}
+		}
+		if t2 := round + 1; t2 <= T {
+			for _, u := range d.owned[w] {
+				for _, v := range adj[u] {
+					s := rng.StreamOf(d.cfg.Seed, uint64(t2), uint64(u), uint64(v))
+					emit(d.eng.Owner(v), cluster.Message{
+						Kind: kindSpeak, A: v, B: mem[u][s.Intn(t2)],
+					})
+				}
+			}
+			return true, nil
+		}
+		return false, nil
+	}
+	if _, err := d.eng.RunRounds(step, T+1); err != nil {
+		return err
+	}
+	d.run = true
+	d.PropagateStats = phaseStats(T, d.eng.Stats().Sub(before))
+	return nil
+}
+
+// plurality returns the most frequent label, tie-broken uniformly with the
+// same stream derivation as the sequential slpa.listen.
+func plurality(counts map[uint32]int, seed uint64, t int, v uint32) uint32 {
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	tied := make([]uint32, 0, 4)
+	for label, c := range counts {
+		if c == best {
+			tied = append(tied, label)
+		}
+	}
+	if len(tied) == 1 {
+		return tied[0]
+	}
+	sort.Slice(tied, func(i, j int) bool { return tied[i] < tied[j] })
+	s := rng.StreamOf(seed, uint64(t), uint64(v), 0xdecade)
+	return tied[s.Intn(len(tied))]
+}
+
+// Memories gathers the label memories from all partitions in the format of
+// slpa.Propagate: Memories()[v] has length T+1, nil for absent IDs.
+func (d *SLPA) Memories() [][]uint32 {
+	out := make([][]uint32, d.maxID)
+	for w := range d.mem {
+		for _, v := range d.owned[w] {
+			out[v] = d.mem[w][v]
+		}
+	}
+	return out
+}
