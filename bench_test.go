@@ -175,6 +175,43 @@ func BenchmarkFig8StaticRuntimeRSLPA(b *testing.B) {
 	}
 }
 
+// BenchmarkPostprocessWireBytes measures the distributed post-processing on
+// the fig8-scale LFR fixture and reports its wire cost next to the cost of
+// the naive protocol it replaced (one fixed 17-byte message per label per
+// boundary pair plus an all-to-master weight funnel). The CI bench-smoke
+// job archives these counters as BENCH_postprocess.json.
+func BenchmarkPostprocessWireBytes(b *testing.B) {
+	fixtures(b)
+	const workers = 4
+	const T = 2 * benchT // rSLPA runs 2x the SLPA iterations, per the paper
+	g := fixLFR.Graph
+
+	// The replaced protocol (per-label shipping + all-to-master weight
+	// funnel), modeled by the same helper the regression test uses.
+	naive := dist.NaivePostprocessBytes(g, cluster.Partitioner{P: workers}, T)
+
+	for i := 0; i < b.N; i++ {
+		eng, err := cluster.New(cluster.Config{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := dist.NewRSLPA(eng, g, core.Config{T: T, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Propagate(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dist.Postprocess(eng, d, postprocess.Config{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(naive), "wire-bytes-before")
+		b.ReportMetric(float64(d.LastPostprocess.Bytes), "wire-bytes-after")
+		b.ReportMetric(float64(naive)/float64(d.LastPostprocess.Bytes), "reduction-x")
+		eng.Close()
+	}
+}
+
 // benchFig9 measures one Figure 9 point: incremental repair after a batch
 // of the given size on the web fixture.
 func benchFig9(b *testing.B, batchSize int) {

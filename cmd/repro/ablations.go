@@ -54,8 +54,8 @@ func runMessages(o options) {
 	sPer := ds.PropagateStats.Messages / T
 	fmt.Printf("graph: |V|=%d |E|=%d\n", st.Vertices, st.Edges)
 	fmt.Printf("%-8s %-22s %-18s %s\n", "algo", "messages/iteration", "bytes/iteration", "model")
-	fmt.Printf("%-8s %-22d %-18d 2|E| = %d\n", "SLPA", sPer, sPer*cluster.WireSize, 2*st.Edges)
-	fmt.Printf("%-8s %-22d %-18d 2|V| = %d\n", "rSLPA", rPer, rPer*cluster.WireSize, 2*st.Vertices)
+	fmt.Printf("%-8s %-22d %-18d 2|E| = %d\n", "SLPA", sPer, ds.PropagateStats.Bytes/T, 2*st.Edges)
+	fmt.Printf("%-8s %-22d %-18d 2|V| = %d\n", "rSLPA", rPer, dr.PropagateStats.Bytes/T, 2*st.Vertices)
 	fmt.Printf("reduction: %.1fx\n", float64(sPer)/float64(rPer))
 }
 

@@ -90,6 +90,9 @@ func runFig8(o options) {
 	perIterR := rslpaProp / time.Duration(o.rslpaT)
 	fmt.Printf("per-iteration label-prop: SLPA %v, rSLPA %v (paper: SLPA > 5x rSLPA)\n",
 		perIterS.Round(time.Microsecond), perIterR.Round(time.Microsecond))
+	pp := dr.LastPostprocess
+	fmt.Printf("rSLPA postprocess wire: %d rounds, %d messages, %.2f MB (RLE shipping + tree-reduce + partitioned τ1 sweep)\n",
+		pp.Rounds, pp.Messages, float64(pp.Bytes)/(1<<20))
 }
 
 // runFig9 measures incremental updating vs recomputation from scratch

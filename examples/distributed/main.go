@@ -16,6 +16,7 @@ import (
 	"rslpa/internal/core"
 	"rslpa/internal/dist"
 	"rslpa/internal/dynamic"
+	"rslpa/internal/postprocess"
 )
 
 func main() {
@@ -63,6 +64,29 @@ func main() {
 	fmt.Printf("update: %d edits; correction propagation moved %d messages in %d rounds\n",
 		len(batch), d.LastUpdate.Messages, d.LastUpdate.Rounds)
 
+	// Post-processing, also over TCP: RLE-shipped sequences, tree-reduced
+	// thresholds, and a partitioned τ₁ sweep.
+	dp, err := dist.Postprocess(eng, d, postprocess.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := postprocess.Extract(seq.Graph(), seq.Labels, postprocess.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("postprocess: τ1=%.4f τ2=%.4f, %d strong communities, %d weak memberships\n",
+		dp.Tau1, dp.Tau2, dp.Strong, dp.Weak)
+
+	// Per-phase wire cost: the engine meters every phase separately, which
+	// is where the RLE + tree-reduce byte reduction shows up.
+	fmt.Printf("\n%-14s %-10s %-12s %s\n", "phase", "rounds", "messages", "wire bytes")
+	phase := func(name string, s cluster.Stats) {
+		fmt.Printf("%-14s %-10d %-12d %d\n", name, s.Rounds, s.Messages, s.Bytes)
+	}
+	phase("propagate", d.PropagateStats)
+	phase("update", d.LastUpdate)
+	phase("postprocess", d.LastPostprocess)
+
 	// Verify equivalence with the sequential implementation.
 	mismatches := 0
 	g2 := seq.Graph()
@@ -75,9 +99,14 @@ func main() {
 			}
 		}
 	})
-	fmt.Printf("sequential repicked %d labels, distributed %d; label matrices identical: %v\n",
+	fmt.Printf("\nsequential repicked %d labels, distributed %d; label matrices identical: %v\n",
 		seqStats.Repicked, distStats.Repicked, mismatches == 0)
 	if mismatches > 0 {
 		log.Fatalf("%d vertices differ between sequential and TCP-distributed state", mismatches)
 	}
+	if dp.Tau1 != sp.Tau1 || dp.Tau2 != sp.Tau2 || dp.Entropy != sp.Entropy {
+		log.Fatalf("distributed extraction (τ1=%v τ2=%v) differs from sequential (τ1=%v τ2=%v)",
+			dp.Tau1, dp.Tau2, sp.Tau1, sp.Tau2)
+	}
+	fmt.Println("distributed extraction bit-identical to sequential: true")
 }

@@ -1,8 +1,12 @@
 package cluster
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -98,13 +102,13 @@ func TestAllToAll(t *testing.T) {
 				case 0:
 					for to := 0; to < p; to++ {
 						for k := 0; k < perPair; k++ {
-							emit(to, Message{Kind: 7, A: uint32(w), B: uint32(k), C: 0xabcd, D: uint32(to)})
+							emit(to, Message{Kind: 7, A: uint32(w), B: uint32(k), Payload: []uint32{0xabcd, uint32(to)}})
 						}
 					}
 					return false, nil
 				default:
 					for _, m := range inbox {
-						if m.Kind != 7 || m.C != 0xabcd || int(m.D) != w {
+						if m.Kind != 7 || len(m.Payload) != 2 || m.Payload[0] != 0xabcd || int(m.Payload[1]) != w {
 							return false, fmt.Errorf("worker %d got corrupt message %+v", w, m)
 						}
 						got[w][uint64(m.A)<<32|uint64(m.B)]++
@@ -129,8 +133,9 @@ func TestAllToAll(t *testing.T) {
 			if want := int64(p * p * perPair); stats.Messages != want {
 				t.Fatalf("stats.Messages = %d, want %d", stats.Messages, want)
 			}
-			if stats.Bytes != stats.Messages*WireSize {
-				t.Fatalf("stats.Bytes = %d, want %d", stats.Bytes, stats.Messages*WireSize)
+			per := int64(Message{Payload: make([]uint32, 2)}.WireSize())
+			if stats.Bytes != stats.Messages*per {
+				t.Fatalf("stats.Bytes = %d, want %d", stats.Bytes, stats.Messages*per)
 			}
 		})
 	}
@@ -229,12 +234,195 @@ func TestAllReduceMin(t *testing.T) {
 	}
 }
 
+// TestAllReduceMinSingleWorker: a P=1 reduce is a local no-op and must not
+// charge rounds, messages or bytes.
+func TestAllReduceMinSingleWorker(t *testing.T) {
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	before := e.Stats()
+	if got := e.AllReduceMin([]float64{2.5}); got != 2.5 {
+		t.Fatalf("min = %v", got)
+	}
+	if d := e.Stats().Sub(before); d != (Stats{}) {
+		t.Fatalf("single-worker allreduce charged %+v", d)
+	}
+}
+
+// TestRunRoundsDiscardsFinalRoundMessages pins RunRounds' documented
+// semantics: messages emitted in the final round never cross the transport
+// and are not charged to Stats.Messages or Stats.Bytes.
+func TestRunRoundsDiscardsFinalRoundMessages(t *testing.T) {
+	e, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var delivered [2]int
+	rounds, err := e.RunRounds(func(w, round int, inbox []Message, emit Emitter) (bool, error) {
+		delivered[w] += len(inbox)
+		// Every worker emits one message every round, including the final
+		// one, whose emissions must be discarded.
+		emit(1-w, Message{Kind: 1, A: uint32(round), Payload: []uint32{9}})
+		return true, nil
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	// Rounds 0 and 1 deliver into rounds 1 and 2; round 2's emissions die.
+	if got := delivered[0] + delivered[1]; got != 4 {
+		t.Fatalf("delivered = %d, want 4", got)
+	}
+	s := e.Stats()
+	if s.Messages != 4 {
+		t.Fatalf("Stats.Messages = %d, want 4 (final round discarded)", s.Messages)
+	}
+	per := int64(Message{Payload: make([]uint32, 1)}.WireSize())
+	if s.Bytes != 4*per {
+		t.Fatalf("Stats.Bytes = %d, want %d", s.Bytes, 4*per)
+	}
+}
+
 func TestMessageEncodeDecodeRoundTrip(t *testing.T) {
-	m := Message{Kind: 250, A: 1, B: 1 << 31, C: 0xffffffff, D: 42}
-	var buf [WireSize]byte
-	m.encode(buf[:])
-	if got := decodeMessage(buf[:]); got != m {
-		t.Fatalf("round trip %+v != %+v", got, m)
+	cases := []Message{
+		{Kind: 250, A: 1, B: 1 << 31},                               // header-only
+		{Kind: 3, A: 7, B: 9, Payload: []uint32{}},                  // empty non-nil payload
+		{Kind: 1, A: 0xffffffff, B: 42, Payload: []uint32{1, 2, 3}}, // small payload
+		{Kind: 9, Payload: make([]uint32, MaxPayloadWords)},         // max-size payload
+	}
+	cases[3].Payload[0] = 0xdeadbeef
+	cases[3].Payload[MaxPayloadWords-1] = 0xfeedface
+	for i, m := range cases {
+		buf := m.appendTo(nil)
+		if len(buf) != m.WireSize() {
+			t.Fatalf("case %d: encoded %d bytes, WireSize says %d", i, len(buf), m.WireSize())
+		}
+		got, err := decodeMessage(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.Kind != m.Kind || got.A != m.A || got.B != m.B || len(got.Payload) != len(m.Payload) {
+			t.Fatalf("case %d: round trip %+v != %+v", i, got, m)
+		}
+		for j := range m.Payload {
+			if got.Payload[j] != m.Payload[j] {
+				t.Fatalf("case %d: payload word %d: %x != %x", i, j, got.Payload[j], m.Payload[j])
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsOversizedPayload: a frame claiming more than
+// MaxPayloadWords must fail loudly instead of allocating.
+func TestDecodeRejectsOversizedPayload(t *testing.T) {
+	m := Message{Kind: 1, A: 2, B: 3, Payload: []uint32{4}}
+	buf := m.appendTo(nil)
+	binary.LittleEndian.PutUint32(buf[9:], MaxPayloadWords+1)
+	if _, err := decodeMessage(bytes.NewReader(buf)); err == nil {
+		t.Fatal("oversized payload length accepted")
+	}
+}
+
+// TestTCPFrameRoundTrip drives the TCP codec directly: a frame of
+// mixed-payload messages (empty through max-size) written by writeFrame
+// must decode identically through readFrame.
+func TestTCPFrameRoundTrip(t *testing.T) {
+	ms := []Message{
+		{Kind: 1, A: 10, B: 20},
+		{Kind: 2, A: 30, B: 40, Payload: []uint32{}},
+		{Kind: 3, A: 50, B: 60, Payload: []uint32{7, 8, 9, 0xffffffff}},
+		{Kind: 4, Payload: make([]uint32, MaxPayloadWords)},
+	}
+	ms[3].Payload[MaxPayloadWords-1] = 0xabad1dea
+	var raw bytes.Buffer
+	bw := bufio.NewWriter(&raw)
+	if err := writeFrame(bw, 17, ms); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(bufio.NewReader(&raw), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ms) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(ms))
+	}
+	for i := range ms {
+		if got[i].Kind != ms[i].Kind || got[i].A != ms[i].A || got[i].B != ms[i].B ||
+			len(got[i].Payload) != len(ms[i].Payload) {
+			t.Fatalf("message %d: %+v != %+v", i, got[i], ms[i])
+		}
+		for j := range ms[i].Payload {
+			if got[i].Payload[j] != ms[i].Payload[j] {
+				t.Fatalf("message %d payload word %d differs", i, j)
+			}
+		}
+	}
+	// A frame for the wrong round must be rejected.
+	bw.Reset(&raw)
+	if err := writeFrame(bw, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(bufio.NewReader(&raw), 4); err == nil {
+		t.Fatal("round mismatch accepted")
+	}
+}
+
+// TestTCPVariablePayloads exchanges payload-bearing messages over real
+// loopback sockets, with sizes crossing the bufio and chunking boundaries.
+func TestTCPVariablePayloads(t *testing.T) {
+	const p = 3
+	e, err := New(Config{Workers: p, Transport: TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var mu sync.Mutex
+	sums := make(map[int]uint64, p)
+	_, err = e.Run(func(w, round int, inbox []Message, emit Emitter) (bool, error) {
+		var sum uint64
+		for _, m := range inbox {
+			if int(m.A) != w {
+				return false, fmt.Errorf("worker %d got message for %d", w, m.A)
+			}
+			for _, x := range m.Payload {
+				sum += uint64(x)
+			}
+		}
+		if round == 0 {
+			for to := 0; to < p; to++ {
+				// One empty, one small, one large payload per pair.
+				emit(to, Message{Kind: 1, A: uint32(to)})
+				emit(to, Message{Kind: 2, A: uint32(to), Payload: []uint32{uint32(w + 1)}})
+				big := make([]uint32, 40000)
+				for i := range big {
+					big[i] = uint32(i % 7)
+				}
+				emit(to, Message{Kind: 3, A: uint32(to), Payload: big})
+			}
+			return false, nil
+		}
+		mu.Lock()
+		sums[w] += sum
+		mu.Unlock()
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigSum uint64
+	for i := 0; i < 40000; i++ {
+		bigSum += uint64(i % 7)
+	}
+	want := uint64(1+2+3) + uint64(p)*bigSum
+	for w := 0; w < p; w++ {
+		if sums[w] != want {
+			t.Fatalf("worker %d payload sum %d, want %d", w, sums[w], want)
+		}
 	}
 }
 

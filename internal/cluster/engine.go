@@ -22,7 +22,7 @@ type Config struct {
 type Stats struct {
 	Rounds   int64 // barrier-separated supersteps executed
 	Messages int64 // messages exchanged (including worker-local delivery)
-	Bytes    int64 // wire bytes (Messages × WireSize)
+	Bytes    int64 // wire bytes: the sum of Message.WireSize over exchanged messages
 }
 
 // Sub returns s - o, for measuring a phase delta.
@@ -88,8 +88,12 @@ func (e *Engine) Run(step StepFunc) (int, error) {
 	return e.run(step, -1)
 }
 
-// RunRounds executes exactly n supersteps (messages emitted in the final
-// round are discarded; phases that need them should run one round more).
+// RunRounds executes exactly n supersteps. Messages emitted in the final
+// round are DISCARDED: there is no round n+1 to deliver them into, so they
+// never cross the transport and are not charged to Stats.Messages or
+// Stats.Bytes (Stats meters wire traffic, and a discarded message moves no
+// bytes). Phases whose last round must still be heard should run one round
+// more and leave that extra round's emit unused.
 func (e *Engine) RunRounds(step StepFunc, n int) (int, error) {
 	return e.run(step, n)
 }
@@ -138,16 +142,26 @@ func (e *Engine) run(step StepFunc, maxRounds int) (int, error) {
 			}
 		}
 
-		sent := int64(0)
+		e.stats.Rounds++
+		round++
+
+		// A final RunRounds round has no successor to deliver into: its
+		// emissions are discarded before the transport and charged nothing.
+		if maxRounds >= 0 && round >= maxRounds {
+			return round, nil
+		}
+
+		sent, bytes := int64(0), int64(0)
 		for w := 0; w < p; w++ {
 			for to := 0; to < p; to++ {
 				sent += int64(len(out[w][to]))
+				for _, m := range out[w][to] {
+					bytes += int64(m.WireSize())
+				}
 			}
 		}
-		e.stats.Rounds++
 		e.stats.Messages += sent
-		e.stats.Bytes += sent * WireSize
-		round++
+		e.stats.Bytes += bytes
 
 		anyActive := false
 		for _, a := range active {
@@ -168,7 +182,8 @@ func (e *Engine) run(step StepFunc, maxRounds int) (int, error) {
 // AllReduceMin performs a global minimum over one float64 per worker,
 // modelling the aggregation tree a real cluster would use: every worker
 // sends its value to worker 0, which reduces and broadcasts back. The 2P
-// messages and 2 rounds are charged to the engine's stats.
+// messages and 2 rounds are charged to the engine's stats. A single-worker
+// "cluster" already holds the answer locally, so P=1 charges nothing.
 func (e *Engine) AllReduceMin(vals []float64) float64 {
 	p := e.cfg.Workers
 	min := vals[0]
@@ -177,8 +192,10 @@ func (e *Engine) AllReduceMin(vals []float64) float64 {
 			min = v
 		}
 	}
-	e.stats.Rounds += 2
-	e.stats.Messages += int64(2 * p)
-	e.stats.Bytes += int64(2*p) * 8
+	if p > 1 {
+		e.stats.Rounds += 2
+		e.stats.Messages += int64(2 * p)
+		e.stats.Bytes += int64(2*p) * 8
+	}
 	return min
 }

@@ -18,40 +18,110 @@
 //
 // The engine meters rounds, messages and wire bytes, which is how the
 // benchmarks observe the paper's O(|V|)-vs-O(|E|) communication claim.
+//
+// # Wire format
+//
+// A Message is a fixed 13-byte header followed by a variable-length payload
+// of 32-bit words, all little-endian:
+//
+//	offset  size  field
+//	0       1     Kind
+//	1       4     A
+//	5       4     B
+//	9       4     payload word count (≤ MaxPayloadWords)
+//	13      4·k   payload words
+//
+// Message.WireSize returns the encoded size of one message; Stats.Bytes is
+// the sum of WireSize over every exchanged message, so a payload-packed
+// message (say, a run-length-encoded label sequence) is charged its real
+// cost rather than a fixed per-message stamp. The TCP transport writes, per
+// round and per peer, one frame
+//
+//	[round uint32][message count uint32][count × encoded Message]
+//
+// and reads exactly one frame from every peer, so the frame count itself
+// forms the end-of-round barrier. The local transport moves Message values
+// without copying payloads; emitters must therefore not mutate a payload
+// slice after emitting it.
 package cluster
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
-// Message is the fixed-shape unit exchanged between workers. The four
-// operand fields are interpreted per Kind by the algorithm drivers in
-// internal/dist; fixed shape keeps the hot path allocation-free and gives
-// every message a well-defined wire size.
+// Message is the unit exchanged between workers: a fixed (Kind, A, B)
+// header plus an optional []uint32 payload. The header operands and the
+// payload layout are interpreted per Kind by the algorithm drivers in
+// internal/dist. Header-only messages keep the propagation hot path cheap
+// (13 bytes); payload messages let post-processing pack whole sequences,
+// histograms, or forests into a single message with exact byte accounting.
+//
+// The payload is shared, not copied, on the local transport: once emitted,
+// the slice must not be mutated by the sender.
 type Message struct {
-	Kind       uint8
-	A, B, C, D uint32
+	Kind    uint8
+	A, B    uint32
+	Payload []uint32
 }
 
-// WireSize is the encoded size of one Message in bytes.
-const WireSize = 1 + 4*4
+// headerSize is the encoded size of the fixed message header: Kind, A, B
+// and the payload word count.
+const headerSize = 1 + 4 + 4 + 4
 
-// encode writes m into buf (which must have at least WireSize bytes).
-func (m Message) encode(buf []byte) {
-	buf[0] = m.Kind
-	binary.LittleEndian.PutUint32(buf[1:], m.A)
-	binary.LittleEndian.PutUint32(buf[5:], m.B)
-	binary.LittleEndian.PutUint32(buf[9:], m.C)
-	binary.LittleEndian.PutUint32(buf[13:], m.D)
-}
+// MaxPayloadWords bounds the payload length a decoder accepts (4 MiB of
+// payload). It is a corruption guard for the TCP codec, not a protocol
+// limit the drivers approach at this repo's scales; senders with more data
+// must chunk across messages.
+const MaxPayloadWords = 1 << 20
 
-// decodeMessage reads a Message from buf.
-func decodeMessage(buf []byte) Message {
-	return Message{
-		Kind: buf[0],
-		A:    binary.LittleEndian.Uint32(buf[1:]),
-		B:    binary.LittleEndian.Uint32(buf[5:]),
-		C:    binary.LittleEndian.Uint32(buf[9:]),
-		D:    binary.LittleEndian.Uint32(buf[13:]),
+// WireSize returns the encoded size of m in bytes: the 13-byte header plus
+// four bytes per payload word.
+func (m Message) WireSize() int { return headerSize + 4*len(m.Payload) }
+
+// appendTo appends the encoding of m to buf and returns the extended slice.
+func (m Message) appendTo(buf []byte) []byte {
+	var hdr [headerSize]byte
+	hdr[0] = m.Kind
+	binary.LittleEndian.PutUint32(hdr[1:], m.A)
+	binary.LittleEndian.PutUint32(hdr[5:], m.B)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(m.Payload)))
+	buf = append(buf, hdr[:]...)
+	var w [4]byte
+	for _, x := range m.Payload {
+		binary.LittleEndian.PutUint32(w[:], x)
+		buf = append(buf, w[:]...)
 	}
+	return buf
+}
+
+// decodeMessage reads one encoded message from r.
+func decodeMessage(r reader) (Message, error) {
+	var hdr [headerSize]byte
+	if _, err := readFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	m := Message{
+		Kind: hdr[0],
+		A:    binary.LittleEndian.Uint32(hdr[1:]),
+		B:    binary.LittleEndian.Uint32(hdr[5:]),
+	}
+	n := binary.LittleEndian.Uint32(hdr[9:])
+	if n == 0 {
+		return m, nil
+	}
+	if n > MaxPayloadWords {
+		return Message{}, fmt.Errorf("payload of %d words exceeds max %d", n, MaxPayloadWords)
+	}
+	raw := make([]byte, 4*n)
+	if _, err := readFull(r, raw); err != nil {
+		return Message{}, err
+	}
+	m.Payload = make([]uint32, n)
+	for i := range m.Payload {
+		m.Payload[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	return m, nil
 }
 
 // Partitioner assigns vertices to workers. Vertex IDs are dense, so simple

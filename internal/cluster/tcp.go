@@ -159,6 +159,11 @@ func (t *tcpTransport) Exchange(out [][][]Message) ([][]Message, error) {
 	return in, nil
 }
 
+// writeFrame encodes one round's batch for one peer: an 8-byte frame
+// header, then each message in the variable-length encoding of Message
+// (fixed header plus length-prefixed payload). Encoding goes through a
+// per-call scratch buffer flushed in chunks so payload-heavy messages do
+// not pay a syscall per word.
 func writeFrame(w *bufio.Writer, round uint32, ms []Message) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[:4], round)
@@ -166,10 +171,18 @@ func writeFrame(w *bufio.Writer, round uint32, ms []Message) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	var buf [WireSize]byte
+	buf := make([]byte, 0, 1<<12)
 	for _, m := range ms {
-		m.encode(buf[:])
-		if _, err := w.Write(buf[:]); err != nil {
+		buf = m.appendTo(buf)
+		if len(buf) >= 1<<12 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
@@ -189,12 +202,12 @@ func readFrame(r *bufio.Reader, round uint32) ([]Message, error) {
 		return nil, nil
 	}
 	ms := make([]Message, count)
-	var buf [WireSize]byte
 	for i := range ms {
-		if _, err := readFull(r, buf[:]); err != nil {
+		m, err := decodeMessage(r)
+		if err != nil {
 			return nil, err
 		}
-		ms[i] = decodeMessage(buf[:])
+		ms[i] = m
 	}
 	return ms, nil
 }

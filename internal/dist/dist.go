@@ -8,8 +8,9 @@
 // worker holds, for the vertices it owns, the adjacency lists, the label
 // matrix, the (src, pos) pick provenance, and the reverse records; no state
 // is shared between workers — everything a worker learns about a remote
-// vertex arrives as a fixed-shape cluster.Message, so the same drivers run
-// unchanged over the in-memory and loopback-TCP transports.
+// vertex arrives as a cluster.Message (a fixed header plus an optional
+// packed payload), so the same drivers run unchanged over the in-memory and
+// loopback-TCP transports.
 //
 // # BSP supersteps
 //
@@ -45,24 +46,45 @@ import (
 	"rslpa/internal/core"
 )
 
-// Message kinds; operand meanings are per kind (A..D of cluster.Message).
+// Message kinds; header operand (A, B) and payload meanings are per kind.
 const (
 	// kindPickReq asks the owner of src A for the label at position B, on
-	// behalf of vertex C's slot D.
+	// behalf of the vertex and iteration in payload [v, t].
 	kindPickReq uint8 = iota + 1
-	// kindPickRep delivers label value C for vertex A's slot B.
+	// kindPickRep delivers payload [label] for vertex A's slot B.
 	kindPickRep
-	// kindDropRec removes record {Pos: B, Tar: C, Iter: D} at source A.
+	// kindDropRec removes record {Pos: B, Tar: payload[0], Iter: payload[1]}
+	// at source A.
 	kindDropRec
-	// kindAddRec appends record {Pos: B, Tar: C, Iter: D} at source A.
+	// kindAddRec appends record {Pos: B, Tar: payload[0], Iter: payload[1]}
+	// at source A.
 	kindAddRec
-	// kindDirty marks vertex A's slot B for correction at level B.
+	// kindDirty marks vertex A's slot B for correction at level B
+	// (header-only).
 	kindDirty
-	// kindSeq ships label-sequence element: vertex A's slot B holds C.
-	kindSeq
-	// kindWeight reports common-label count C for edge (A, B) to master.
-	kindWeight
-	// kindSpeak delivers one spoken label B to listener A.
+	// kindSeqRLE ships vertex A's full label sequence, sorted and
+	// run-length encoded: payload [label, count, label, count, ...] — the
+	// exact histogram the weight computation consumes, in one message.
+	kindSeqRLE
+	// kindVMax moves one τ₂-reduce step up the aggregation tree: payload
+	// [vertex, maxCount, ...] pairs of per-vertex maximum common-label
+	// counts; header A piggybacks the sender's maximum count over ALL its
+	// edges (the global-max reduce the selection fallback needs).
+	kindVMax
+	// kindThresh broadcasts the resolved weak threshold: payload holds the
+	// float64 bits of τ₂ as [hi32, lo32].
+	kindThresh
+	// kindForest moves one forest-reduce step up the aggregation tree:
+	// payload [u, v, count, ...] triples — the sender's component-boundary
+	// union pairs (its maximum-spanning-forest edges over counts ≥ τ₂).
+	kindForest
+	// kindTau1 broadcasts the selected strong threshold: payload holds the
+	// float64 bits of τ₁ as [hi32, lo32].
+	kindTau1
+	// kindAttach ships weak-attachment candidate edges (τ₂ ≤ w < τ₁) to
+	// the master: payload [u, v, count, ...] triples.
+	kindAttach
+	// kindSpeak delivers one spoken label B to listener A (header-only).
 	kindSpeak
 )
 

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"testing"
 
 	"rslpa/internal/cluster"
@@ -330,8 +331,12 @@ func TestPropagateStatsAccounting(t *testing.T) {
 		if ps.Messages != wantMsgs {
 			t.Fatalf("PropagateStats.Messages = %d, want 2*T*|V| = %d", ps.Messages, wantMsgs)
 		}
-		if ps.Bytes != ps.Messages*cluster.WireSize {
-			t.Fatalf("PropagateStats.Bytes = %d, want Messages*WireSize", ps.Bytes)
+		// Each iteration moves one request (2-word payload) and one reply
+		// (1-word payload) per vertex.
+		reqSize := int64(cluster.Message{Payload: make([]uint32, 2)}.WireSize())
+		repSize := int64(cluster.Message{Payload: make([]uint32, 1)}.WireSize())
+		if want := int64(cfg.T*g.NumVertices()) * (reqSize + repSize); ps.Bytes != want {
+			t.Fatalf("PropagateStats.Bytes = %d, want %d", ps.Bytes, want)
 		}
 
 		afterPropagate := eng.Stats()
@@ -392,6 +397,113 @@ func TestSLPAMatchesSequential(t *testing.T) {
 		if ds := d.PropagateStats; ds.Rounds != int64(cfg.T) || ds.Messages != int64(2*cfg.T*g.NumEdges()) {
 			t.Fatalf("SLPA stats %+v, want Rounds=%d Messages=%d", ds, cfg.T, 2*cfg.T*g.NumEdges())
 		}
+	}
+}
+
+// requireSameResult asserts two extraction Results agree exactly on every
+// scalar and to near-perfect NMI on the cover.
+func requireSameResult(t *testing.T, n int, got, want *postprocess.Result) {
+	t.Helper()
+	if got.Tau1 != want.Tau1 || got.Tau2 != want.Tau2 {
+		t.Fatalf("thresholds: distributed (%v, %v), sequential (%v, %v)",
+			got.Tau1, got.Tau2, want.Tau1, want.Tau2)
+	}
+	if got.Strong != want.Strong || got.Weak != want.Weak || got.Entropy != want.Entropy {
+		t.Fatalf("summary: distributed %+v, sequential %+v",
+			[3]interface{}{got.Strong, got.Weak, got.Entropy},
+			[3]interface{}{want.Strong, want.Weak, want.Entropy})
+	}
+	if s := nmi.Compare(got.Cover, want.Cover, n); s < 0.9999 {
+		t.Fatalf("cover NMI vs sequential = %v", s)
+	}
+}
+
+// TestPostprocessMatchesSequentialMatrix is the acceptance matrix for the
+// rebuilt distributed post-processing: for P ∈ {1, 2, 3, 7} on both
+// transports, and for every selection mode (entropy sweep, grid
+// enumeration, fixed thresholds) plus both weight metrics, the RLE-shipped,
+// tree-reduced, partition-swept pipeline must reproduce the sequential
+// postprocess.Extract bit for bit.
+func TestPostprocessMatchesSequentialMatrix(t *testing.T) {
+	g := lfrFixture(t)
+	cfg := core.Config{T: 40, Seed: 23}
+	seq, err := core.Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppCfgs := map[string]postprocess.Config{
+		"sweep": {},
+		"grid":  {GridStep: 0.01},
+		"fixed": {Tau1: 0.6, Tau2: 0.05},
+		"prob":  {Metric: postprocess.SameLabelProbability},
+	}
+	for name, ppCfg := range ppCfgs {
+		want, err := postprocess.Extract(seq.Graph(), seq.Labels, ppCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []cluster.TransportKind{cluster.Local, cluster.TCP} {
+			for _, workers := range []int{1, 2, 3, 7} {
+				t.Run(fmt.Sprintf("%s/%s/%dworkers", name, kind, workers), func(t *testing.T) {
+					eng, err := cluster.New(cluster.Config{Workers: workers, Transport: kind})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer eng.Close()
+					d, err := NewRSLPA(eng, g, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := d.Propagate(); err != nil {
+						t.Fatal(err)
+					}
+					dp, err := Postprocess(eng, d, ppCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameResult(t, g.NumVertices(), dp, want)
+					if workers > 1 && d.LastPostprocess.Messages == 0 {
+						t.Fatal("multi-worker postprocess moved no messages")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPostprocessWireReduction pins the acceptance criterion: on a
+// fig8-scale LFR graph the rebuilt pipeline must move at least 5x fewer
+// postprocess bytes than per-label shipping plus the all-to-master weight
+// funnel did.
+func TestPostprocessWireReduction(t *testing.T) {
+	p := lfr.Default(2000)
+	p.AvgDeg, p.MaxDeg, p.On, p.Seed = 15, 50, 200, 8
+	res, err := lfr.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	const workers = 4
+	cfg := core.Config{T: 200, Seed: 4}
+	eng := newEngine(t, workers)
+	d, err := NewRSLPA(eng, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Postprocess(eng, d, postprocess.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	naive := NaivePostprocessBytes(g, cluster.Partitioner{P: workers}, cfg.T)
+	got := d.LastPostprocess.Bytes
+	if got == 0 {
+		t.Fatal("postprocess reported zero wire bytes")
+	}
+	if ratio := float64(naive) / float64(got); ratio < 5 {
+		t.Fatalf("postprocess wire reduction %.1fx (naive %d B, got %d B), want >= 5x",
+			ratio, naive, got)
 	}
 }
 

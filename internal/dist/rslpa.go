@@ -29,6 +29,9 @@ type RSLPA struct {
 	// here Rounds counts raw BSP supersteps (up to three per correction
 	// level plus the repick round — the engine's own accounting).
 	LastUpdate cluster.Stats
+	// LastPostprocess reports the wire cost of the most recent Postprocess
+	// call on this driver (raw BSP supersteps, messages, bytes).
+	LastPostprocess cluster.Stats
 }
 
 // NewRSLPA partitions g over the engine's workers and returns a driver
@@ -88,7 +91,7 @@ func (d *RSLPA) Propagate() error {
 		if round%2 == 0 {
 			// Install the replies for iteration round/2.
 			for _, m := range inbox {
-				sh.labels[m.A][m.B] = m.C
+				sh.labels[m.A][m.B] = m.Payload[0]
 			}
 			t := round/2 + 1
 			if t > T {
@@ -99,7 +102,7 @@ func (d *RSLPA) Propagate() error {
 				sh.src[v][t] = int32(src)
 				sh.pos[v][t] = pos
 				emit(d.eng.Owner(src), cluster.Message{
-					Kind: kindPickReq, A: src, B: uint32(pos), C: v, D: uint32(t),
+					Kind: kindPickReq, A: src, B: uint32(pos), Payload: []uint32{v, uint32(t)},
 				})
 			}
 			return true, nil
@@ -107,11 +110,12 @@ func (d *RSLPA) Propagate() error {
 		// Serve the requests: record the pick at the source, reply with the
 		// label value (position B < t is final by the level invariant).
 		for _, m := range inbox {
+			tar, iter := m.Payload[0], m.Payload[1]
 			sh.recv[m.A] = append(sh.recv[m.A], core.Record{
-				Pos: int32(m.B), Tar: m.C, Iter: int32(m.D),
+				Pos: int32(m.B), Tar: tar, Iter: int32(iter),
 			})
-			emit(d.eng.Owner(m.C), cluster.Message{
-				Kind: kindPickRep, A: m.C, B: m.D, C: sh.labels[m.A][m.B],
+			emit(d.eng.Owner(tar), cluster.Message{
+				Kind: kindPickRep, A: tar, B: iter, Payload: []uint32{sh.labels[m.A][m.B]},
 			})
 		}
 		return true, nil
@@ -171,10 +175,10 @@ func (d *RSLPA) Update(batch []graph.Edit) (core.UpdateStats, error) {
 			for _, m := range inbox {
 				switch m.Kind {
 				case kindDropRec:
-					sh.dropRecord(m.A, int32(m.B), m.C, int32(m.D))
+					sh.dropRecord(m.A, int32(m.B), m.Payload[0], int32(m.Payload[1]))
 				case kindAddRec:
 					sh.recv[m.A] = append(sh.recv[m.A], core.Record{
-						Pos: int32(m.B), Tar: m.C, Iter: int32(m.D),
+						Pos: int32(m.B), Tar: m.Payload[0], Iter: int32(m.Payload[1]),
 					})
 				case kindDirty:
 					sc.mark(m.A, int32(m.B))
@@ -195,19 +199,20 @@ func (d *RSLPA) Update(batch []graph.Edit) (core.UpdateStats, error) {
 				sc.stats.Touched++
 				src := uint32(sh.src[v][lvl])
 				emit(d.eng.Owner(src), cluster.Message{
-					Kind: kindPickReq, A: src, B: uint32(sh.pos[v][lvl]), C: v, D: uint32(lvl),
+					Kind: kindPickReq, A: src, B: uint32(sh.pos[v][lvl]), Payload: []uint32{v, uint32(lvl)},
 				})
 			}
 			sc.dirtyQ[lvl] = nil
 		case 1: // R2: serve value requests (levels < lvl are final).
 			for _, m := range inbox {
-				emit(d.eng.Owner(m.C), cluster.Message{
-					Kind: kindPickRep, A: m.C, B: m.D, C: sh.labels[m.A][m.B],
+				tar, iter := m.Payload[0], m.Payload[1]
+				emit(d.eng.Owner(tar), cluster.Message{
+					Kind: kindPickRep, A: tar, B: iter, Payload: []uint32{sh.labels[m.A][m.B]},
 				})
 			}
 		case 2: // R3: install values, cascade to the slots that copied them.
 			for _, m := range inbox {
-				v, t, val := m.A, int32(m.B), m.C
+				v, t, val := m.A, int32(m.B), m.Payload[0]
 				if sh.labels[v][t] == val {
 					continue
 				}
@@ -337,13 +342,13 @@ func (d *RSLPA) applyBatch(sh *shard, sc *updScratch, w int, batch []graph.Edit,
 			}
 			if oldSrc >= 0 {
 				emit(d.eng.Owner(uint32(oldSrc)), cluster.Message{
-					Kind: kindDropRec, A: uint32(oldSrc), B: uint32(sh.pos[v][t]), C: v, D: uint32(t),
+					Kind: kindDropRec, A: uint32(oldSrc), B: uint32(sh.pos[v][t]), Payload: []uint32{v, uint32(t)},
 				})
 			}
 			sh.src[v][t] = int32(newSrc)
 			sh.pos[v][t] = newPos
 			emit(d.eng.Owner(newSrc), cluster.Message{
-				Kind: kindAddRec, A: newSrc, B: uint32(newPos), C: v, D: uint32(t),
+				Kind: kindAddRec, A: newSrc, B: uint32(newPos), Payload: []uint32{v, uint32(t)},
 			})
 			sc.mark(v, t)
 			sc.stats.Repicked++

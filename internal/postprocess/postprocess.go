@@ -92,32 +92,65 @@ type Result struct {
 	Weak    int     // number of weak (attached) memberships
 }
 
+// EncodeRuns sorts a copy of a label sequence and run-length encodes it as
+// interleaved (label, count) words — the histogram form every weight
+// computation (sequential and distributed) consumes, and the payload the
+// distributed driver ships.
+func EncodeRuns(seq []uint32) []uint32 {
+	sorted := append([]uint32(nil), seq...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	runs := make([]uint32, 0, 8)
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		runs = append(runs, sorted[i], uint32(j-i))
+		i = j
+	}
+	return runs
+}
+
+// CommonRuns merge-joins two interleaved (label, count) run lists into the
+// integer numerator of the similarity weight: Σ_l min(f_a, f_b) for
+// Intersection, Σ_l f_a·f_b for SameLabelProbability. This single
+// implementation is what keeps the distributed weights bit-identical to
+// the sequential ones.
+func CommonRuns(a, b []uint32, metric WeightMetric) uint64 {
+	var common uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i += 2
+		case a[i] > b[j]:
+			j += 2
+		default:
+			ca, cb := uint64(a[i+1]), uint64(b[j+1])
+			if metric == SameLabelProbability {
+				common += ca * cb
+			} else if ca < cb {
+				common += ca
+			} else {
+				common += cb
+			}
+			i += 2
+			j += 2
+		}
+	}
+	return common
+}
+
 // EdgeWeights computes w_ij for every edge of g from the label sequences
 // using the given metric. Weights are in [0, 1].
 func EdgeWeights(g *graph.Graph, labels LabelSeq, metric WeightMetric) []WeightedEdge {
 	// Run-length encode each vertex's sorted label sequence once.
-	type runs struct {
-		label []uint32
-		count []uint32
-	}
-	encoded := make(map[uint32]*runs, g.NumVertices())
-	encode := func(v uint32) *runs {
+	encoded := make(map[uint32][]uint32, g.NumVertices())
+	encode := func(v uint32) []uint32 {
 		if r, ok := encoded[v]; ok {
 			return r
 		}
-		seq := labels(v)
-		sorted := append([]uint32(nil), seq...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		r := &runs{}
-		for i := 0; i < len(sorted); {
-			j := i
-			for j < len(sorted) && sorted[j] == sorted[i] {
-				j++
-			}
-			r.label = append(r.label, sorted[i])
-			r.count = append(r.count, uint32(j-i))
-			i = j
-		}
+		r := EncodeRuns(labels(v))
 		encoded[v] = r
 		return r
 	}
@@ -125,26 +158,9 @@ func EdgeWeights(g *graph.Graph, labels LabelSeq, metric WeightMetric) []Weighte
 	edges := make([]WeightedEdge, 0, g.NumEdges())
 	g.ForEachEdge(func(u, v uint32) {
 		ru, rv := encode(u), encode(v)
-		var common uint64
-		i, j := 0, 0
-		for i < len(ru.label) && j < len(rv.label) {
-			switch {
-			case ru.label[i] < rv.label[j]:
-				i++
-			case ru.label[i] > rv.label[j]:
-				j++
-			default:
-				if metric == Intersection {
-					common += uint64(min32(ru.count[i], rv.count[j]))
-				} else {
-					common += uint64(ru.count[i]) * uint64(rv.count[j])
-				}
-				i++
-				j++
-			}
-		}
-		lu := float64(sum(ru.count))
-		lv := float64(sum(rv.count))
+		common := CommonRuns(ru, rv, metric)
+		lu := float64(sumRuns(ru))
+		lv := float64(sumRuns(rv))
 		w := float64(common) / lu
 		if metric == SameLabelProbability {
 			w = float64(common) / (lu * lv)
@@ -154,17 +170,12 @@ func EdgeWeights(g *graph.Graph, labels LabelSeq, metric WeightMetric) []Weighte
 	return edges
 }
 
-func min32(a, b uint32) uint32 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func sum(xs []uint32) uint64 {
+// sumRuns totals the counts of an interleaved run list (the sequence
+// length).
+func sumRuns(runs []uint32) uint64 {
 	var s uint64
-	for _, x := range xs {
-		s += uint64(x)
+	for i := 1; i < len(runs); i += 2 {
+		s += uint64(runs[i])
 	}
 	return s
 }
@@ -206,11 +217,41 @@ func Extract(g *graph.Graph, labels LabelSeq, cfg Config) (*Result, error) {
 // ExtractFromWeights is Extract for callers that already computed (or
 // obtained from the distributed engine) the edge weights.
 func ExtractFromWeights(g *graph.Graph, edges []WeightedEdge, cfg Config) (*Result, error) {
-	res := &Result{}
-	res.Tau2 = cfg.Tau2
-	if res.Tau2 == 0 {
-		res.Tau2 = Tau2Of(edges)
+	tau2 := cfg.Tau2
+	if tau2 == 0 {
+		tau2 = Tau2Of(edges)
 	}
+	return ExtractFromForest(g, edges, edges, tau2, MaxWeight(edges), cfg)
+}
+
+// MaxWeight returns the maximum edge weight of the set (0 when empty) — the
+// fallback ceiling the τ₁ selectors use when no edge reaches τ₂.
+func MaxWeight(edges []WeightedEdge) float64 {
+	max := 0.0
+	for _, e := range edges {
+		if e.W > max {
+			max = e.W
+		}
+	}
+	return max
+}
+
+// ExtractFromForest assembles the final Result from a REDUCED edge set: any
+// subset of the weighted edges that preserves connectivity at every
+// threshold τ ≥ tau2 (ReduceForest produces the minimal such subset), plus
+// a separate attachment candidate list that must contain every edge with
+// tau2 ≤ w < τ₁ (supersets are fine — strong-strong and sub-τ₂ entries are
+// filtered here). tau2 is the already-resolved weak threshold and maxWeight
+// the maximum weight over the FULL edge set (the selectors' fallback when
+// nothing reaches τ₂). It produces bit-identical results to
+// ExtractFromWeights on the full set: the τ₁ entropy sweep only observes
+// component structure, which the reduction preserves, and the entropy is
+// evaluated canonically (see selectTau1Sweep). This is the master half of
+// the distributed post-processing: workers ship forests and candidates, the
+// master assembles.
+func ExtractFromForest(g *graph.Graph, conn, attach []WeightedEdge, tau2, maxWeight float64, cfg Config) (*Result, error) {
+	res := &Result{}
+	res.Tau2 = tau2
 
 	// Dense re-indexing of the vertices present in the graph.
 	ids := g.Vertices()
@@ -224,9 +265,9 @@ func ExtractFromWeights(g *graph.Graph, edges []WeightedEdge, cfg Config) (*Resu
 	case cfg.Tau1 != 0:
 		res.Tau1 = cfg.Tau1
 	case cfg.GridStep > 0:
-		res.Tau1 = selectTau1Grid(edges, index, n, res.Tau2, cfg.GridStep)
+		res.Tau1 = selectTau1Grid(conn, index, n, res.Tau2, maxWeight, cfg.GridStep)
 	default:
-		res.Tau1 = selectTau1Sweep(edges, index, n, res.Tau2)
+		res.Tau1 = selectTau1Sweep(conn, index, n, res.Tau2, maxWeight)
 	}
 	if res.Tau1 < res.Tau2 {
 		return nil, fmt.Errorf("postprocess: τ1=%.4f < τ2=%.4f", res.Tau1, res.Tau2)
@@ -235,7 +276,7 @@ func ExtractFromWeights(g *graph.Graph, edges []WeightedEdge, cfg Config) (*Resu
 	// Strong communities: components (≥ 2 vertices) of the τ₁-filtered
 	// graph.
 	uf := NewUnionFind(n)
-	for _, e := range edges {
+	for _, e := range conn {
 		if e.W >= res.Tau1 {
 			uf.Union(int(index[e.U]), int(index[e.V]))
 		}
@@ -270,21 +311,23 @@ func ExtractFromWeights(g *graph.Graph, edges []WeightedEdge, cfg Config) (*Resu
 
 	// Weak attachment: isolated vertices join the communities of their
 	// non-isolated neighbors with w ≥ τ₂ (possibly several — overlap).
-	attach := make(map[int32][]int32) // dense vertex -> community ids
-	for _, e := range edges {
+	// Duplicate candidates are harmless: membership is deduplicated per
+	// (vertex, community) pair.
+	joins := make(map[int32][]int32) // dense vertex -> community ids
+	for _, e := range attach {
 		if e.W < res.Tau2 {
 			continue
 		}
 		du, dv := index[e.U], index[e.V]
 		cu, cv := commOf[du], commOf[dv]
 		if cu < 0 && cv >= 0 {
-			attach[du] = appendUnique(attach[du], cv)
+			joins[du] = appendUnique(joins[du], cv)
 		}
 		if cv < 0 && cu >= 0 {
-			attach[dv] = appendUnique(attach[dv], cu)
+			joins[dv] = appendUnique(joins[dv], cu)
 		}
 	}
-	for dv, comms := range attach {
+	for dv, comms := range joins {
 		for _, id := range comms {
 			members[id] = append(members[id], ids[dv])
 			res.Weak++
@@ -325,6 +368,20 @@ func entropyOfSizes(members [][]uint32, n int) float64 {
 // It is exported for the distributed driver, whose master performs this
 // selection on gathered weights.
 func SelectTau1(edges []WeightedEdge, vertexCount int, tau2 float64) float64 {
+	return ChooseTau1(edges, vertexCount, tau2, MaxWeight(edges), Config{})
+}
+
+// ChooseTau1 resolves the strong threshold for an already-reduced edge set:
+// cfg.Tau1 when fixed, the grid enumeration when cfg.GridStep > 0, the
+// exact sweep otherwise. n is |V| of the full graph, maxWeight the maximum
+// over the FULL (unreduced) edge set. Because the entropy evaluation is
+// canonical, the result does not depend on vertex indexing or edge order —
+// the distributed master uses this on the tree-reduced forest to pick the
+// identical τ₁ the sequential sweep picks on all edges.
+func ChooseTau1(edges []WeightedEdge, n int, tau2, maxWeight float64, cfg Config) float64 {
+	if cfg.Tau1 != 0 {
+		return cfg.Tau1
+	}
 	index := make(map[uint32]int32)
 	next := int32(0)
 	for _, e := range edges {
@@ -337,39 +394,101 @@ func SelectTau1(edges []WeightedEdge, vertexCount int, tau2 float64) float64 {
 			next++
 		}
 	}
-	return selectTau1Sweep(edges, index, vertexCount, tau2)
+	if cfg.GridStep > 0 {
+		return selectTau1Grid(edges, index, n, tau2, maxWeight, cfg.GridStep)
+	}
+	return selectTau1Sweep(edges, index, n, tau2, maxWeight)
+}
+
+// sizeHist tracks the multiset of component sizes during an incremental
+// union sweep and evaluates the size entropy canonically: summing −p·ln p
+// over distinct sizes in ascending order makes the float result a pure
+// function of the partition, independent of the merge history, the edge
+// order, and the vertex indexing. That independence is what lets the
+// distributed sweep (which sees a connectivity-preserving subset of the
+// edges in a different order) select a bit-identical τ₁.
+type sizeHist struct {
+	count   map[int32]int32
+	scratch []int32
+}
+
+func newSizeHist(n int) *sizeHist {
+	return &sizeHist{count: map[int32]int32{1: int32(n)}}
+}
+
+// merge records that components of sizes a and b fused.
+func (h *sizeHist) merge(a, b int32) {
+	if h.count[a]--; h.count[a] == 0 {
+		delete(h.count, a)
+	}
+	if h.count[b]--; h.count[b] == 0 {
+		delete(h.count, b)
+	}
+	h.count[a+b]++
+}
+
+// entropy evaluates Equation 1 over the current partition of n vertices.
+func (h *sizeHist) entropy(n float64) float64 {
+	h.scratch = h.scratch[:0]
+	for s := range h.count {
+		if s >= 2 {
+			h.scratch = append(h.scratch, s)
+		}
+	}
+	sort.Slice(h.scratch, func(i, j int) bool { return h.scratch[i] < h.scratch[j] })
+	e := 0.0
+	for _, s := range h.scratch {
+		p := float64(s) / n
+		e -= float64(h.count[s]) * p * math.Log(p)
+	}
+	return e
+}
+
+// entropyOfPartition evaluates the canonical size entropy of a completed
+// union-find over n dense vertices (used by the grid enumeration).
+func entropyOfPartition(uf *UnionFind, n int) float64 {
+	sizes := make([]int32, 0, 16)
+	counted := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		root := uf.Find(i)
+		if counted[root] {
+			continue
+		}
+		counted[root] = true
+		if s := uf.SizeOf(i); s >= 2 {
+			sizes = append(sizes, int32(s))
+		}
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	h, fn := 0.0, float64(n)
+	for _, s := range sizes {
+		p := float64(s) / fn
+		h -= p * math.Log(p)
+	}
+	return h
 }
 
 // selectTau1Sweep evaluates the community entropy at every distinct edge
 // weight ≥ τ₂ by inserting edges in descending weight order into a
-// union-find, maintaining the entropy term-by-term, and returns the weight
-// maximizing it (the largest such weight on ties).
-func selectTau1Sweep(edges []WeightedEdge, index map[uint32]int32, n int, tau2 float64) float64 {
+// union-find, maintaining the component-size multiset incrementally, and
+// returns the weight maximizing the entropy (the largest such weight on
+// ties). maxWeight is the maximum over the full edge set — the fallback
+// when no edge reaches τ₂.
+func selectTau1Sweep(edges []WeightedEdge, index map[uint32]int32, n int, tau2, maxWeight float64) float64 {
 	sorted := make([]WeightedEdge, 0, len(edges))
-	maxW := tau2
 	for _, e := range edges {
 		if e.W >= tau2 {
 			sorted = append(sorted, e)
 		}
-		if e.W > maxW {
-			maxW = e.W
-		}
 	}
 	if len(sorted) == 0 {
-		return maxW
+		return math.Max(tau2, maxWeight)
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].W > sorted[j].W })
 
 	uf := NewUnionFind(n)
+	hist := newSizeHist(n)
 	fn := float64(n)
-	term := func(size int) float64 {
-		if size < 2 {
-			return 0
-		}
-		p := float64(size) / fn
-		return -p * math.Log(p)
-	}
-	entropy := 0.0
 	bestTau, bestH := sorted[0].W, math.Inf(-1)
 	i := 0
 	for i < len(sorted) {
@@ -379,15 +498,14 @@ func selectTau1Sweep(edges []WeightedEdge, index map[uint32]int32, n int, tau2 f
 			a, b := int(index[e.U]), int(index[e.V])
 			ra, rb := uf.Find(a), uf.Find(b)
 			if ra != rb {
-				entropy -= term(uf.SizeOf(ra)) + term(uf.SizeOf(rb))
-				root, _ := uf.Union(ra, rb)
-				entropy += term(uf.SizeOf(root))
+				hist.merge(int32(uf.SizeOf(ra)), int32(uf.SizeOf(rb)))
+				uf.Union(ra, rb)
 			}
 			i++
 		}
 		// All edges with weight >= w inserted: entropy is H(τ₁ = w).
-		if entropy > bestH {
-			bestH, bestTau = entropy, w
+		if h := hist.entropy(fn); h > bestH {
+			bestH, bestTau = h, w
 		}
 	}
 	return bestTau
@@ -395,13 +513,8 @@ func selectTau1Sweep(edges []WeightedEdge, index map[uint32]int32, n int, tau2 f
 
 // selectTau1Grid is the paper's literal enumeration: τ₁ candidates from τ₂
 // to max(w) in fixed steps, running connected components at each step.
-func selectTau1Grid(edges []WeightedEdge, index map[uint32]int32, n int, tau2, step float64) float64 {
-	maxW := tau2
-	for _, e := range edges {
-		if e.W > maxW {
-			maxW = e.W
-		}
-	}
+func selectTau1Grid(edges []WeightedEdge, index map[uint32]int32, n int, tau2, maxWeight, step float64) float64 {
+	maxW := math.Max(tau2, maxWeight)
 	bestTau, bestH := maxW, math.Inf(-1)
 	for tau := tau2; tau <= maxW+step/2; tau += step {
 		uf := NewUnionFind(n)
@@ -410,21 +523,7 @@ func selectTau1Grid(edges []WeightedEdge, index map[uint32]int32, n int, tau2, s
 				uf.Union(int(index[e.U]), int(index[e.V]))
 			}
 		}
-		h := 0.0
-		fn := float64(n)
-		counted := make(map[int]bool)
-		for i := 0; i < n; i++ {
-			root := uf.Find(i)
-			if counted[root] {
-				continue
-			}
-			counted[root] = true
-			if s := uf.SizeOf(i); s >= 2 {
-				p := float64(s) / fn
-				h -= p * math.Log(p)
-			}
-		}
-		if h > bestH {
+		if h := entropyOfPartition(uf, n); h > bestH {
 			bestH, bestTau = h, tau
 		}
 	}

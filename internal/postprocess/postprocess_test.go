@@ -340,6 +340,140 @@ func TestEndToEndLFRQuality(t *testing.T) {
 	}
 }
 
+// TestReduceForestPreservesThresholdConnectivity is the invariant the
+// distributed gather rests on: for any threshold τ ≥ τ₂, filtering the
+// forest at τ yields exactly the components of filtering the full edge set
+// at τ.
+func TestReduceForestPreservesThresholdConnectivity(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 30
+		edges := make([]WeightedEdge, 0, 60)
+		for i := 0; i < 60; i++ {
+			u, v := uint32(r.Intn(n)), uint32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			// Coarse weights force plenty of ties.
+			edges = append(edges, WeightedEdge{U: u, V: v, W: float64(r.Intn(8)) / 8})
+		}
+		tau2 := float64(r.Intn(4)) / 8
+		forest := ReduceForest(edges, tau2)
+		if len(forest) >= n {
+			return false // a forest of ≤ n vertices has < n edges
+		}
+		for _, e := range forest {
+			if e.W < tau2 {
+				return false
+			}
+		}
+		components := func(set []WeightedEdge, tau float64) *UnionFind {
+			uf := NewUnionFind(n)
+			for _, e := range set {
+				if e.W >= tau {
+					uf.Union(int(e.U), int(e.V))
+				}
+			}
+			return uf
+		}
+		for _, tau := range []float64{tau2, tau2 + 0.125, 0.5, 0.75, 1} {
+			if tau < tau2 {
+				continue
+			}
+			full, red := components(edges, tau), components(forest, tau)
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					if (full.Find(a) == full.Find(b)) != (red.Find(a) == red.Find(b)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// partitionEdges deals edges across k parts deterministically but
+// non-contiguously, mimicking worker ownership.
+func partitionEdges(edges []WeightedEdge, k int) [][]WeightedEdge {
+	parts := make([][]WeightedEdge, k)
+	for i, e := range edges {
+		w := (i*2654435761 + int(e.U)) % k
+		parts[w] = append(parts[w], e)
+	}
+	return parts
+}
+
+// TestExtractPartitionedMatchesSequential pins the partitioned entry point
+// against ExtractFromWeights on real propagated labels: identical
+// thresholds, entropy, counts, and the exact same communities for every
+// part count, selection mode, and metric.
+func TestExtractPartitionedMatchesSequential(t *testing.T) {
+	p := lfr.Default(400)
+	p.AvgDeg, p.MaxDeg, p.On = 10, 25, 40
+	res, err := lfr.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.Run(res.Graph, core.Config{T: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{},
+		{GridStep: 0.01},
+		{Tau1: 0.5, Tau2: 0.05},
+		{Metric: SameLabelProbability},
+	} {
+		edges := EdgeWeights(st.Graph(), st.Labels, cfg.Metric)
+		want, err := ExtractFromWeights(st.Graph(), edges, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 3, 7} {
+			got, err := ExtractPartitioned(st.Graph(), partitionEdges(edges, k), cfg)
+			if err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			if got.Tau1 != want.Tau1 || got.Tau2 != want.Tau2 || got.Entropy != want.Entropy ||
+				got.Strong != want.Strong || got.Weak != want.Weak {
+				t.Fatalf("cfg=%+v k=%d: partitioned %+v, sequential %+v", cfg, k, got, want)
+			}
+			if !got.Cover.Equal(want.Cover) {
+				t.Fatalf("cfg=%+v k=%d: covers differ", cfg, k)
+			}
+		}
+	}
+}
+
+// TestExtractPartitionedEmptyAndEdgeless covers the degenerate shapes.
+func TestExtractPartitionedEmptyAndEdgeless(t *testing.T) {
+	empty, err := ExtractPartitioned(graph.New(), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Cover.Len() != 0 {
+		t.Fatal("empty graph produced communities")
+	}
+	g := graph.New()
+	g.AddVertex(3)
+	g.AddVertex(9)
+	got, err := ExtractPartitioned(g, [][]WeightedEdge{nil, nil}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExtractFromWeights(g, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tau1 != want.Tau1 || got.Tau2 != want.Tau2 || got.Strong != want.Strong {
+		t.Fatalf("edgeless: partitioned %+v, sequential %+v", got, want)
+	}
+}
+
 func TestSelectTau1Exported(t *testing.T) {
 	edges := []WeightedEdge{
 		{U: 0, V: 1, W: 0.9}, {U: 1, V: 2, W: 0.9},
