@@ -9,8 +9,10 @@
 package rslpa_test
 
 import (
+	"bytes"
 	"sync"
 	"testing"
+	"time"
 
 	"rslpa/internal/cluster"
 	"rslpa/internal/complexity"
@@ -407,5 +409,59 @@ func BenchmarkWebGraphGenerate(b *testing.B) {
 		if _, err := webgraph.Generate(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCheckpointSaveLoad measures shard-parallel checkpointing at
+// P=4 on the web fixture: save wall time (each worker encodes its shard
+// concurrently, the master concatenates), checkpoint size, load wall time
+// (records resharded through the loading engine's owner map), and the wire
+// bytes the snapshot gather moved. The CI bench-smoke job archives these
+// counters as BENCH_checkpoint.json.
+func BenchmarkCheckpointSaveLoad(b *testing.B) {
+	fixtures(b)
+	const workers = 4
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := cluster.New(cluster.Config{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := dist.NewRSLPA(eng, fixWeb, core.Config{T: benchT, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Propagate(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		var buf bytes.Buffer
+		saveStart := time.Now()
+		if err := d.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		saveMS := float64(time.Since(saveStart).Microseconds()) / 1000
+
+		loadStart := time.Now()
+		c, err := core.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng2, err := cluster.New(cluster.Config{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dist.NewRSLPAFromCheckpoint(eng2, c); err != nil {
+			b.Fatal(err)
+		}
+		loadMS := float64(time.Since(loadStart).Microseconds()) / 1000
+
+		b.ReportMetric(saveMS, "save-ms")
+		b.ReportMetric(loadMS, "load-ms")
+		b.ReportMetric(float64(buf.Len()), "checkpoint-bytes")
+		b.ReportMetric(float64(d.LastCheckpoint.Bytes), "gather-wire-bytes")
+		eng2.Close()
+		eng.Close()
 	}
 }

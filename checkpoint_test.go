@@ -1,0 +1,220 @@
+package rslpa_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rslpa"
+	"rslpa/internal/dynamic"
+)
+
+// The cross-mode persistence suite: a checkpoint saved under ANY execution
+// mode (worker count × transport) must restore under any OTHER mode with a
+// bit-identical label matrix, and the restored detector must then absorb
+// further Update batches and extract Communities exactly like a detector
+// that never checkpointed.
+
+// checkpointFixture builds the shared scenario: a web-shaped graph, a first
+// edit batch applied before the save point, and a second batch applied
+// after the restore.
+func checkpointFixture(t *testing.T) (g *rslpa.Graph, batch1, batch2 []rslpa.Edit) {
+	t.Helper()
+	g, err := rslpa.GenerateWebGraph(rslpa.DefaultWebGraph(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch1, err = dynamic.Batch(g, 60, 31); err != nil {
+		t.Fatal(err)
+	}
+	g2 := g.Clone()
+	g2.Apply(batch1)
+	if batch2, err = dynamic.Batch(g2, 60, 32); err != nil {
+		t.Fatal(err)
+	}
+	return g, batch1, batch2
+}
+
+// labelsOf snapshots the full label matrix of a detector.
+func labelsOf(g *rslpa.Graph, d *rslpa.Detector) map[uint32][]uint32 {
+	out := make(map[uint32][]uint32, g.NumVertices())
+	g.ForEachVertex(func(v uint32) {
+		out[v] = append([]uint32(nil), d.Labels(v)...)
+	})
+	return out
+}
+
+func requireEqualLabels(t *testing.T, tag string, want, got map[uint32][]uint32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: vertex sets differ: %d vs %d", tag, len(want), len(got))
+	}
+	for v, a := range want {
+		b, ok := got[v]
+		if !ok || len(a) != len(b) {
+			t.Fatalf("%s: vertex %d sequence missing or mis-sized", tag, v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: vertex %d slot %d: %d vs %d", tag, v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func requireEqualResults(t *testing.T, tag string, want, got *rslpa.Result) {
+	t.Helper()
+	if !want.Communities.Equal(got.Communities) {
+		t.Fatalf("%s: covers differ", tag)
+	}
+	if want.Tau1 != got.Tau1 || want.Tau2 != got.Tau2 || want.Entropy != got.Entropy ||
+		want.Strong != got.Strong || want.Weak != got.Weak {
+		t.Fatalf("%s: extraction metadata differs: %+v vs %+v", tag, want, got)
+	}
+}
+
+func TestCheckpointCrossModeEquivalence(t *testing.T) {
+	g, batch1, batch2 := checkpointFixture(t)
+	cfg := rslpa.Config{T: 20, Seed: 77}
+
+	// The uninterrupted reference: sequential, never checkpointed.
+	ref, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := ref.Update(batch1); err != nil {
+		t.Fatal(err)
+	}
+	gAfter1 := g.Clone()
+	gAfter1.Apply(batch1)
+	wantAfter1 := labelsOf(gAfter1, ref)
+	if _, err := ref.Update(batch2); err != nil {
+		t.Fatal(err)
+	}
+	gAfter2 := gAfter1.Clone()
+	gAfter2.Apply(batch2)
+	wantAfter2 := labelsOf(gAfter2, ref)
+	wantRes, err := ref.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// loadP picks a worker count different from the save-side one.
+	loadP := map[int]int{0: 4, 2: 3, 3: 1, 7: 2}
+
+	for _, saveP := range []int{0, 2, 3, 7} {
+		for _, saveTCP := range []bool{false, true} {
+			if saveP == 0 && saveTCP {
+				continue // sequential has no transport
+			}
+			saveCfg := cfg
+			saveCfg.Workers = saveP
+			saveCfg.TCP = saveTCP
+			tag := fmt.Sprintf("save[P=%d tcp=%v]", saveP, saveTCP)
+
+			det, err := rslpa.Detect(g, saveCfg)
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			if _, err := det.Update(batch1); err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			var buf bytes.Buffer
+			if err := det.Save(&buf); err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			det.Close()
+			blob := buf.Bytes()
+
+			for _, loadTCP := range []bool{false, true} {
+				p := loadP[saveP]
+				if p <= 1 && loadTCP {
+					continue
+				}
+				ltag := fmt.Sprintf("%s->load[P=%d tcp=%v]", tag, p, loadTCP)
+				restored, err := rslpa.LoadDetector(bytes.NewReader(blob),
+					rslpa.Config{Workers: p, TCP: loadTCP})
+				if err != nil {
+					t.Fatalf("%s: %v", ltag, err)
+				}
+				requireEqualLabels(t, ltag+" at save point", wantAfter1, labelsOf(gAfter1, restored))
+				if _, err := restored.Update(batch2); err != nil {
+					t.Fatalf("%s: %v", ltag, err)
+				}
+				requireEqualLabels(t, ltag+" after resume", wantAfter2, labelsOf(gAfter2, restored))
+				res, err := restored.Communities()
+				if err != nil {
+					t.Fatalf("%s: %v", ltag, err)
+				}
+				requireEqualResults(t, ltag, wantRes, res)
+				restored.Close()
+			}
+		}
+	}
+}
+
+// TestCheckpointAcceptanceP4 pins the issue's acceptance criterion
+// verbatim: a detector saved at P=4 and loaded at P=2 (and at P=1) resumes
+// Update/Communities bit-identically to an uninterrupted run, on both
+// transports.
+func TestCheckpointAcceptanceP4(t *testing.T) {
+	g, batch1, batch2 := checkpointFixture(t)
+	cfg := rslpa.Config{T: 20, Seed: 5}
+
+	ref, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := ref.Update(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Update(batch2); err != nil {
+		t.Fatal(err)
+	}
+	gFinal := g.Clone()
+	gFinal.Apply(batch1)
+	gFinal.Apply(batch2)
+	want := labelsOf(gFinal, ref)
+	wantRes, err := ref.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, saveTCP := range []bool{false, true} {
+		saveCfg := cfg
+		saveCfg.Workers = 4
+		saveCfg.TCP = saveTCP
+		det, err := rslpa.Detect(g, saveCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := det.Update(batch1); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := det.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		det.Close()
+
+		for _, p := range []int{2, 1} {
+			tag := fmt.Sprintf("saveTCP=%v loadP=%d", saveTCP, p)
+			restored, err := rslpa.LoadDetector(bytes.NewReader(buf.Bytes()), rslpa.Config{Workers: p})
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			if _, err := restored.Update(batch2); err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			requireEqualLabels(t, tag, want, labelsOf(gFinal, restored))
+			res, err := restored.Communities()
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			requireEqualResults(t, tag, wantRes, res)
+			restored.Close()
+		}
+	}
+}

@@ -11,7 +11,7 @@
 //	repro -exp fig7a -scale 5        # shrink LFR sizes 5x for quick runs
 //
 // Experiments: table1 fig7a fig7b fig7c fig7d fig7e fig7f table2 fig8 fig9
-// model messages weights sweep.
+// model messages weights sweep checkpoint.
 package main
 
 import (
@@ -67,6 +67,7 @@ func main() {
 		{"messages", "per-iteration communication, SLPA vs rSLPA (Section III-A)", runMessages},
 		{"weights", "ablation: edge-weight metric choice", runWeights},
 		{"sweep", "ablation: τ1 exact sweep vs 0.001 grid", runSweep},
+		{"checkpoint", "shard-parallel save/load and cross-P restore", runCheckpoint},
 	}
 	byName := make(map[string]experiment, len(exps))
 	names := make([]string, 0, len(exps))

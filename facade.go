@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 
+	"rslpa/internal/cluster"
 	"rslpa/internal/core"
+	"rslpa/internal/dist"
 	"rslpa/internal/graph"
 	"rslpa/internal/nmi"
 )
@@ -38,29 +40,56 @@ func DetectParallel(g *Graph, cfg Config, cores int) (*Detector, error) {
 	return &Detector{cfg: cfg, seq: st}, nil
 }
 
-// Save checkpoints a sequential detector's full state (graph, label
-// matrix, pick provenance) so a restarted process can resume incremental
-// maintenance without re-running propagation. Distributed detectors do not
-// support checkpointing yet; gather their state with Labels if needed.
+// Save checkpoints the detector's full state (graph, label matrix, pick
+// provenance, epoch) so a restarted process can resume incremental
+// maintenance without re-running propagation. Sequential AND distributed
+// detectors are supported: a distributed detector serializes its partitions
+// shard-parallel (each worker encodes its own shard concurrently, the
+// master concatenates), and the resulting checkpoint is portable — it can
+// be loaded back at ANY worker count and transport via LoadDetector. A
+// detector restored from a checkpoint resumes Update and Communities
+// bit-identically to one that never restarted.
 func (d *Detector) Save(w io.Writer) error {
-	if d.seq == nil {
-		return fmt.Errorf("rslpa: Save requires a sequential detector (Workers <= 1)")
+	if d.seq != nil {
+		return d.seq.SaveCheckpoint(w)
 	}
-	return d.seq.Save(w)
+	return d.dst.Save(w)
 }
 
-// LoadDetector restores a detector from a Save checkpoint. The extraction
-// configuration (thresholds, metric) comes from cfg; T and Seed are taken
-// from the checkpoint.
+// LoadDetector restores a detector from a Save checkpoint. The execution
+// mode comes from cfg — Workers and TCP select the engine the restored
+// state is re-partitioned onto, independent of how the checkpoint was
+// saved — while T and Seed are taken from the checkpoint itself. The
+// extraction configuration (thresholds, metric) also comes from cfg.
+// Close the returned detector if cfg.Workers > 1.
 func LoadDetector(r io.Reader, cfg Config) (*Detector, error) {
-	st, err := core.Load(r)
+	c, err := core.ReadCheckpoint(r)
 	if err != nil {
 		return nil, err
 	}
-	cfg.T = st.T()
-	cfg.Seed = st.Seed()
-	cfg.Workers = 0
-	return &Detector{cfg: cfg, seq: st}, nil
+	cfg.T = c.T
+	cfg.Seed = c.Seed
+	if cfg.Workers <= 1 {
+		st, err := c.BuildState()
+		if err != nil {
+			return nil, err
+		}
+		return &Detector{cfg: cfg, seq: st}, nil
+	}
+	kind := cluster.Local
+	if cfg.TCP {
+		kind = cluster.TCP
+	}
+	eng, err := cluster.New(cluster.Config{Workers: cfg.Workers, Transport: kind})
+	if err != nil {
+		return nil, err
+	}
+	dst, err := dist.NewRSLPAFromCheckpoint(eng, c)
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return &Detector{cfg: cfg, eng: eng, dst: dst}, nil
 }
 
 // Omega computes the Omega index between two covers — the overlapping

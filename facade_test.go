@@ -68,14 +68,38 @@ func TestSaveLoadDetector(t *testing.T) {
 	}
 }
 
-func TestSaveRejectsDistributed(t *testing.T) {
+func TestSaveLoadDistributedDetector(t *testing.T) {
 	det, err := rslpa.Detect(twoBlocks(), rslpa.Config{Seed: 1, T: 10, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer det.Close()
-	if err := det.Save(&bytes.Buffer{}); err == nil {
-		t.Fatal("distributed Save accepted")
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatalf("distributed Save: %v", err)
+	}
+	restored, err := rslpa.LoadDetector(&buf, rslpa.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	want, err := det.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Communities.Equal(want.Communities) {
+		t.Fatal("restored distributed detector lost the communities")
+	}
+}
+
+func TestLoadDetectorRejectsUnknownVersion(t *testing.T) {
+	_, err := rslpa.LoadDetector(strings.NewReader("RSLPA9\nxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"), rslpa.Config{})
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown magic: got %v, want explicit version error", err)
 	}
 }
 

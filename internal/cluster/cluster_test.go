@@ -458,3 +458,126 @@ func TestSequentialModeMatchesParallel(t *testing.T) {
 		}
 	}
 }
+
+func TestPackBytesRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 255, 1024, 4093} {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i*131 + 7)
+		}
+		got := UnpackBytes(PackBytes(b), n)
+		if len(got) != n {
+			t.Fatalf("n=%d: length %d", n, len(got))
+		}
+		for i := range b {
+			if got[i] != b[i] {
+				t.Fatalf("n=%d: byte %d differs", n, i)
+			}
+		}
+	}
+	if got := UnpackBytes([]uint32{1}, 100); len(got) != 4 {
+		t.Fatalf("overclaimed length not truncated: %d", len(got))
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, kind := range []TransportKind{Local, TCP} {
+		for _, p := range []int{1, 2, 5} {
+			e, err := New(Config{Workers: p, Transport: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs, err := e.Gather(func(w int) ([]byte, error) {
+				// Varied, worker-identifying sizes: worker 2 crosses a word
+				// boundary, worker 0 returns an empty blob.
+				b := make([]byte, w*1237)
+				for i := range b {
+					b[i] = byte(w ^ i)
+				}
+				return b, nil
+			})
+			if err != nil {
+				t.Fatalf("%v P=%d: %v", kind, p, err)
+			}
+			if len(blobs) != p {
+				t.Fatalf("%v P=%d: %d blobs", kind, p, len(blobs))
+			}
+			for w, b := range blobs {
+				if len(b) != w*1237 {
+					t.Fatalf("%v P=%d worker %d: %d bytes, want %d", kind, p, w, len(b), w*1237)
+				}
+				for i := range b {
+					if b[i] != byte(w^i) {
+						t.Fatalf("%v P=%d worker %d: byte %d corrupted", kind, p, w, i)
+					}
+				}
+			}
+			e.Close()
+		}
+	}
+}
+
+func TestGatherLargeBlobChunks(t *testing.T) {
+	// A blob larger than one chunk (256 KiB of words) must be split and
+	// reassembled in order, including over real TCP frames.
+	const n = 5*(4<<16) + 13
+	for _, kind := range []TransportKind{Local, TCP} {
+		e, err := New(Config{Workers: 2, Transport: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs, err := e.Gather(func(w int) ([]byte, error) {
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte(i>>8) ^ byte(w)
+			}
+			return b, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < 2; w++ {
+			if len(blobs[w]) != n {
+				t.Fatalf("%v worker %d: %d bytes", kind, w, len(blobs[w]))
+			}
+			for i, got := range blobs[w] {
+				if want := byte(i>>8) ^ byte(w); got != want {
+					t.Fatalf("%v worker %d: byte %d = %d, want %d", kind, w, i, got, want)
+				}
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestGatherProduceError(t *testing.T) {
+	e, err := New(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Gather(func(w int) ([]byte, error) {
+		if w == 1 {
+			return nil, fmt.Errorf("boom")
+		}
+		return []byte{1}, nil
+	}); err == nil {
+		t.Fatal("produce error swallowed")
+	}
+}
+
+func TestGatherChargesWireBytes(t *testing.T) {
+	e, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	before := e.Stats()
+	if _, err := e.Gather(func(w int) ([]byte, error) { return make([]byte, 1000), nil }); err != nil {
+		t.Fatal(err)
+	}
+	d := e.Stats().Sub(before)
+	if d.Bytes < 4000 {
+		t.Fatalf("gather of 4x1000 bytes charged only %d wire bytes", d.Bytes)
+	}
+}

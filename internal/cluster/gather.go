@@ -1,0 +1,93 @@
+package cluster
+
+import "fmt"
+
+// Gather is the engine's snapshot-barrier primitive: every worker produces a
+// byte blob concurrently (inside the superstep compute phase, so P blobs are
+// built in parallel), the blobs cross the transport to worker 0 in chunked
+// messages, and the call returns them indexed by worker. It is the building
+// block for shard-parallel checkpointing — each worker serializes its
+// partition, the master concatenates — but is generic over blob contents.
+//
+// The two supersteps form a full barrier: when Gather returns, every worker
+// has finished produce and all chunks have been exchanged, so callers may
+// mutate worker state immediately afterwards. Message and byte costs are
+// charged to Stats like any other phase (over TCP the blobs genuinely move
+// through the sockets).
+func (e *Engine) Gather(produce func(w int) ([]byte, error)) ([][]byte, error) {
+	p := e.cfg.Workers
+	blobs := make([][]byte, p)
+	lengths := make([]int, p)
+	chunks := make([][][]uint32, p)
+	step := func(w, round int, inbox []Message, emit Emitter) (bool, error) {
+		switch round {
+		case 0:
+			blob, err := produce(w)
+			if err != nil {
+				return false, err
+			}
+			emitBlob(emit, 0, uint32(w), blob)
+		case 1:
+			if w != 0 {
+				return false, nil
+			}
+			for _, m := range inbox {
+				from := int(m.A)
+				if from >= p {
+					return false, fmt.Errorf("gather: chunk from worker %d of %d", from, p)
+				}
+				switch m.Kind {
+				case kindGatherHead:
+					lengths[from] = int(m.B)
+				case kindGatherChunk:
+					idx := int(m.B)
+					for idx >= len(chunks[from]) {
+						chunks[from] = append(chunks[from], nil)
+					}
+					chunks[from][idx] = m.Payload
+				}
+			}
+			for from := 0; from < p; from++ {
+				words := make([]uint32, 0, (lengths[from]+3)/4)
+				for idx, chunk := range chunks[from] {
+					if chunk == nil {
+						return false, fmt.Errorf("gather: missing chunk %d from worker %d", idx, from)
+					}
+					words = append(words, chunk...)
+				}
+				// The packed words and the announced length must agree
+				// exactly (up to word padding): a lost trailing chunk or a
+				// lost head message must fail here, not surface later as a
+				// silently truncated blob.
+				if 4*len(words) < lengths[from] || 4*len(words) > lengths[from]+3 {
+					return false, fmt.Errorf("gather: worker %d blob has %d payload bytes for announced length %d",
+						from, 4*len(words), lengths[from])
+				}
+				blobs[from] = UnpackBytes(words, lengths[from])
+			}
+		}
+		return false, nil
+	}
+	if _, err := e.RunRounds(step, 2); err != nil {
+		return nil, err
+	}
+	return blobs, nil
+}
+
+// emitBlob chunks a byte blob into payload messages addressed to worker
+// `to`: one head message carrying the exact byte length, then the packed
+// words split at gatherChunkWords per message (the TCP codec rejects
+// payloads over MaxPayloadWords; chunking well below that also keeps any
+// single frame allocation modest).
+func emitBlob(emit Emitter, to int, from uint32, blob []byte) {
+	words := PackBytes(blob)
+	emit(to, Message{Kind: kindGatherHead, A: from, B: uint32(len(blob))})
+	for idx := 0; len(words) > 0; idx++ {
+		n := len(words)
+		if n > gatherChunkWords {
+			n = gatherChunkWords
+		}
+		emit(to, Message{Kind: kindGatherChunk, A: from, B: uint32(idx), Payload: words[:n]})
+		words = words[n:]
+	}
+}

@@ -124,6 +124,53 @@ func decodeMessage(r reader) (Message, error) {
 	return m, nil
 }
 
+// Message kinds 0xFE and 0xFF are reserved for the engine's own Gather
+// phase; algorithm drivers must allocate their kinds below 0xFE.
+const (
+	// kindGatherHead announces one worker's blob: A = sender worker,
+	// B = exact blob byte length.
+	kindGatherHead uint8 = 0xFE
+	// kindGatherChunk carries one chunk of a worker's blob: A = sender
+	// worker, B = chunk index, payload = packed bytes (see PackBytes).
+	kindGatherChunk uint8 = 0xFF
+)
+
+// gatherChunkWords is the payload size Gather splits blobs at: 256 KiB per
+// message, comfortably under MaxPayloadWords.
+const gatherChunkWords = 1 << 16
+
+// PackBytes packs a byte blob into payload words, little-endian, zero-padded
+// to a word boundary; UnpackBytes with the original byte length inverts it.
+// This is how blob-carrying messages (checkpoint shards) ride the []uint32
+// payload of the wire protocol.
+func PackBytes(b []byte) []uint32 {
+	words := make([]uint32, (len(b)+3)/4)
+	for i := range words {
+		var w uint32
+		for j := 0; j < 4; j++ {
+			if k := 4*i + j; k < len(b) {
+				w |= uint32(b[k]) << (8 * j)
+			}
+		}
+		words[i] = w
+	}
+	return words
+}
+
+// UnpackBytes is the inverse of PackBytes: it extracts n bytes from packed
+// payload words. It errors via truncation if the words cannot hold n bytes —
+// callers detect that by comparing len of the result with n.
+func UnpackBytes(words []uint32, n int) []byte {
+	if max := 4 * len(words); n > max {
+		n = max
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(words[i/4] >> (8 * (i % 4)))
+	}
+	return b
+}
+
 // Partitioner assigns vertices to workers. Vertex IDs are dense, so simple
 // modulo hashing balances partitions well; a multiplicative mix decorrelates
 // ownership from the generators' ID locality.

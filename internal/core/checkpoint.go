@@ -1,0 +1,596 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rslpa/internal/graph"
+)
+
+// This file implements the sharded checkpoint container (format version 2,
+// magic "RSLPA2\n") and the shared per-vertex record codec both format
+// versions use. The full format specification lives in the doc block of
+// persist.go; the architectural summary is:
+//
+//   - a shard is an independently-encodable byte blob holding the complete
+//     propagation state of a set of vertices (EncodeShard), so P workers can
+//     serialize their partitions concurrently and a master only concatenates;
+//   - the container header records (T, seed, epoch, idSpace, P, owner-map
+//     digest) and the per-shard byte lengths, from which shard offsets follow
+//     as prefix sums;
+//   - loading never trusts the shard boundaries: records are re-partitioned
+//     through whatever owner map the *loading* engine uses (or merged into a
+//     sequential State), which is what makes a checkpoint portable across
+//     worker counts and transports.
+
+const checkpointMagic = "RSLPA2\n"
+
+// checkpoint sanity bounds: corruption guards for the decoder, far above
+// anything this repo's scales produce, not protocol limits.
+const (
+	maxCheckpointT      = 1 << 20
+	maxCheckpointShards = 1 << 16
+	maxCheckpointSpace  = 1 << 32
+)
+
+// VertexRecord is one vertex's complete propagation state as stored in a
+// checkpoint shard: its adjacency (in exact live order — future picks draw
+// an index into it), the label sequence for iterations 1..T (l⁰ is the
+// vertex ID itself), and the (src, pos) pick provenance with -1 sentinels
+// for fresh slots. Reverse records are NOT stored: they are fully determined
+// by the picks (Validate's record-symmetry invariant) and are rebuilt on
+// load.
+type VertexRecord struct {
+	V      uint32
+	Nbrs   []uint32
+	Labels []uint32 // iterations 1..T (length T)
+	Src    []int32  // iterations 1..T; -1 = fresh sentinel
+	Pos    []int32  // parallel to Src
+}
+
+// CheckpointMeta is the scalar header state of a checkpoint: everything a
+// restored detector needs besides the vertex records themselves. Epoch is
+// the update-batch counter and doubles as the RNG stream position — every
+// random draw is a pure function of (Seed, Epoch, vertex, iteration), so no
+// generator state needs saving.
+type CheckpointMeta struct {
+	T       int
+	Seed    uint64
+	Epoch   uint64
+	IDSpace int
+}
+
+// Checkpoint is a decoded checkpoint: the header state plus the vertex
+// records grouped by the shard that saved them. The grouping is provenance,
+// not an obligation — builders re-partition the records through the loading
+// engine's owner map.
+type Checkpoint struct {
+	CheckpointMeta
+	Shards [][]VertexRecord
+}
+
+// Records iterates all vertex records across shards in stored order.
+func (c *Checkpoint) Records(fn func(rec *VertexRecord)) {
+	for _, sh := range c.Shards {
+		for i := range sh {
+			fn(&sh[i])
+		}
+	}
+}
+
+// shardDigest is the FNV-1a accumulation of one shard's vertex IDs in record
+// order; combined across shards (combineDigests) it pins the owner map the
+// checkpoint was saved under, so reordered, dropped or cross-wired shard
+// blobs are detected before any state is built.
+func shardDigest(vertexIDs func(fn func(v uint32))) uint64 {
+	const offset64, prime64 = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset64)
+	vertexIDs(func(v uint32) {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(v >> shift))
+			h *= prime64
+		}
+	})
+	return h
+}
+
+// combineDigests folds per-shard digests (with their record counts) into the
+// container-level owner-map digest, sensitive to shard order.
+func combineDigests(counts []int, digests []uint64) uint64 {
+	const offset64, prime64 = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= uint64(byte(x >> shift))
+			h *= prime64
+		}
+	}
+	for i := range digests {
+		mix(uint64(counts[i]))
+		mix(digests[i])
+	}
+	return h
+}
+
+// EncodeShard serializes one shard's vertex records into a self-contained
+// blob: [u64 shard digest][u64 vertex count][records...]. It is a pure
+// function safe to call concurrently from P workers; the caller passes the
+// blobs to WriteCheckpoint. T is the iteration count every record must
+// match (len(Labels) == len(Src) == len(Pos) == T).
+func EncodeShard(t int, recs []VertexRecord) []byte {
+	// Exact size: 16-byte blob header + per record (2 + deg + 3T) words.
+	size := 16
+	for i := range recs {
+		size += 4 * (2 + len(recs[i].Nbrs) + 3*t)
+	}
+	buf := make([]byte, 0, size)
+	digest := shardDigest(func(fn func(v uint32)) {
+		for i := range recs {
+			fn(recs[i].V)
+		}
+	})
+	buf = binary.LittleEndian.AppendUint64(buf, digest)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(recs)))
+	for i := range recs {
+		buf = appendVertexRecord(buf, &recs[i])
+	}
+	return buf
+}
+
+// appendVertexRecord appends the wire encoding of one vertex record:
+// v, degree, neighbors, labels[1..T], src bit patterns, pos bit patterns.
+func appendVertexRecord(buf []byte, rec *VertexRecord) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, rec.V)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Nbrs)))
+	for _, u := range rec.Nbrs {
+		buf = binary.LittleEndian.AppendUint32(buf, u)
+	}
+	for _, l := range rec.Labels {
+		buf = binary.LittleEndian.AppendUint32(buf, l)
+	}
+	for _, s := range rec.Src {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
+	}
+	for _, p := range rec.Pos {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	}
+	return buf
+}
+
+// WriteCheckpoint writes the sharded container: header, per-shard byte
+// lengths, then the shard blobs verbatim. shards must be EncodeShard
+// outputs (their leading digests feed the container's owner-map digest).
+func WriteCheckpoint(w io.Writer, meta CheckpointMeta, shards [][]byte) error {
+	if meta.T <= 0 {
+		return fmt.Errorf("core: save checkpoint: T=%d must be positive", meta.T)
+	}
+	counts := make([]int, len(shards))
+	digests := make([]uint64, len(shards))
+	for i, blob := range shards {
+		if len(blob) < 16 {
+			return fmt.Errorf("core: save checkpoint: shard %d blob truncated (%d bytes)", i, len(blob))
+		}
+		digests[i] = binary.LittleEndian.Uint64(blob)
+		counts[i] = int(binary.LittleEndian.Uint64(blob[8:]))
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	hdr := []uint64{
+		uint64(meta.T), meta.Seed, meta.Epoch, uint64(meta.IDSpace),
+		uint64(len(shards)), combineDigests(counts, digests),
+	}
+	for _, x := range hdr {
+		if err := writeU64(bw, x); err != nil {
+			return fmt.Errorf("core: save checkpoint: %w", err)
+		}
+	}
+	for _, blob := range shards {
+		if err := writeU64(bw, uint64(len(blob))); err != nil {
+			return fmt.Errorf("core: save checkpoint: %w", err)
+		}
+	}
+	for _, blob := range shards {
+		if _, err := bw.Write(blob); err != nil {
+			return fmt.Errorf("core: save checkpoint: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Checkpoint snapshots a sequential State as a single-shard checkpoint with
+// records in ascending vertex order. The State is unchanged; record slices
+// alias the State's internal arrays, so encode before mutating it further.
+func (s *State) Checkpoint() *Checkpoint {
+	recs := make([]VertexRecord, 0, s.g.NumVertices())
+	s.g.ForEachVertex(func(v uint32) {
+		recs = append(recs, VertexRecord{
+			V:      v,
+			Nbrs:   s.g.Neighbors(v),
+			Labels: s.labels[v][1:],
+			Src:    s.src[v][1:],
+			Pos:    s.pos[v][1:],
+		})
+	})
+	return &Checkpoint{
+		CheckpointMeta: CheckpointMeta{T: s.cfg.T, Seed: s.cfg.Seed, Epoch: s.epoch, IDSpace: len(s.labels)},
+		Shards:         [][]VertexRecord{recs},
+	}
+}
+
+// SaveCheckpoint writes the State to w in the sharded container format
+// (version 2, single shard). Unlike the legacy Save stream, a version-2
+// checkpoint can be loaded into a detector of ANY worker count.
+func (s *State) SaveCheckpoint(w io.Writer) error {
+	c := s.Checkpoint()
+	return WriteCheckpoint(w, c.CheckpointMeta, [][]byte{EncodeShard(c.T, c.Shards[0])})
+}
+
+// ReadCheckpoint decodes a checkpoint stream in either format version:
+// "RSLPA2\n" sharded containers or legacy "RSLPA1\n" single-blob streams
+// (parsed as one shard). It performs framing and digest validation only;
+// call Verify / BuildState / BuildGraph to cross-check the records and
+// materialize state. Any other magic is rejected with a version error.
+//
+// The decoder is hardened against corrupt input: every claimed count is
+// either bounds-checked against a sanity cap or read incrementally, so
+// allocation stays proportional to the bytes actually consumed — corrupt
+// streams fail with an error, never a panic or an OOM.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	switch string(magic) {
+	case checkpointMagic:
+		return readCheckpointV2(br)
+	case persistMagic:
+		return readCheckpointV1(br)
+	default:
+		return nil, fmt.Errorf("core: load: unsupported checkpoint version (magic %q; want %q or %q)",
+			magic, checkpointMagic, persistMagic)
+	}
+}
+
+// readCheckpointV2 parses the body of a version-2 sharded container.
+func readCheckpointV2(br *bufio.Reader) (*Checkpoint, error) {
+	var hdr [6]uint64
+	for i := range hdr {
+		x, err := readU64(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: load header: %w", err)
+		}
+		hdr[i] = x
+	}
+	meta, err := checkMeta(hdr[0], hdr[1], hdr[2], hdr[3])
+	if err != nil {
+		return nil, err
+	}
+	shardCount, wantDigest := hdr[4], hdr[5]
+	if shardCount > maxCheckpointShards {
+		return nil, fmt.Errorf("core: load: implausible shard count %d", shardCount)
+	}
+	lengths := make([]uint64, shardCount)
+	for i := range lengths {
+		if lengths[i], err = readU64(br); err != nil {
+			return nil, fmt.Errorf("core: load shard lengths: %w", err)
+		}
+	}
+
+	c := &Checkpoint{CheckpointMeta: meta, Shards: make([][]VertexRecord, shardCount)}
+	counts := make([]int, shardCount)
+	digests := make([]uint64, shardCount)
+	for s := range c.Shards {
+		// Each shard must consume exactly its recorded byte length; a
+		// LimitReader turns any overrun into a clean EOF error.
+		lr := &countingReader{r: io.LimitReader(br, int64(lengths[s]))}
+		storedDigest, err := readU64(lr)
+		if err != nil {
+			return nil, fmt.Errorf("core: load shard %d: %w", s, err)
+		}
+		count, err := readU64(lr)
+		if err != nil {
+			return nil, fmt.Errorf("core: load shard %d: %w", s, err)
+		}
+		if count > uint64(maxCheckpointSpace) {
+			return nil, fmt.Errorf("core: load shard %d: implausible vertex count %d", s, count)
+		}
+		recs := make([]VertexRecord, 0, min(int(count), 4096))
+		for i := 0; i < int(count); i++ {
+			rec, err := readVertexRecord(lr, meta.T, meta.IDSpace)
+			if err != nil {
+				return nil, fmt.Errorf("core: load shard %d vertex %d: %w", s, i, err)
+			}
+			recs = append(recs, rec)
+		}
+		if lr.n != int64(lengths[s]) {
+			return nil, fmt.Errorf("core: load shard %d: consumed %d bytes, recorded length %d", s, lr.n, lengths[s])
+		}
+		got := shardDigest(func(fn func(v uint32)) {
+			for i := range recs {
+				fn(recs[i].V)
+			}
+		})
+		if got != storedDigest {
+			return nil, fmt.Errorf("core: load shard %d: owner-map digest mismatch (stored %016x, computed %016x)",
+				s, storedDigest, got)
+		}
+		c.Shards[s] = recs
+		counts[s], digests[s] = len(recs), got
+	}
+	if got := combineDigests(counts, digests); got != wantDigest {
+		return nil, fmt.Errorf("core: load: owner-map digest mismatch (header %016x, computed %016x)", wantDigest, got)
+	}
+	return c, nil
+}
+
+// readCheckpointV1 parses the body of a legacy single-blob stream into a
+// one-shard Checkpoint.
+func readCheckpointV1(br *bufio.Reader) (*Checkpoint, error) {
+	var hdr [5]uint64
+	for i := range hdr {
+		x, err := readU64(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: load header: %w", err)
+		}
+		hdr[i] = x
+	}
+	meta, err := checkMeta(hdr[0], hdr[1], hdr[2], hdr[3])
+	if err != nil {
+		return nil, err
+	}
+	present := hdr[4]
+	if present > uint64(maxCheckpointSpace) {
+		return nil, fmt.Errorf("core: load: implausible vertex count %d", present)
+	}
+	recs := make([]VertexRecord, 0, min(int(present), 4096))
+	for i := 0; i < int(present); i++ {
+		rec, err := readVertexRecord(br, meta.T, meta.IDSpace)
+		if err != nil {
+			return nil, fmt.Errorf("core: load vertex %d: %w", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	return &Checkpoint{CheckpointMeta: meta, Shards: [][]VertexRecord{recs}}, nil
+}
+
+// checkMeta validates the scalar header fields shared by both versions.
+func checkMeta(t, seed, epoch, idSpace uint64) (CheckpointMeta, error) {
+	if t == 0 || t > maxCheckpointT {
+		return CheckpointMeta{}, fmt.Errorf("core: load: implausible T=%d", t)
+	}
+	if idSpace > maxCheckpointSpace {
+		return CheckpointMeta{}, fmt.Errorf("core: load: implausible ID space %d", idSpace)
+	}
+	return CheckpointMeta{T: int(t), Seed: seed, Epoch: epoch, IDSpace: int(idSpace)}, nil
+}
+
+// readVertexRecord reads one vertex record. Slices grow incrementally so a
+// corrupt degree claim cannot allocate more than the input actually backs.
+func readVertexRecord(r io.Reader, t, idSpace int) (VertexRecord, error) {
+	var rec VertexRecord
+	v, err := readU32(r)
+	if err != nil {
+		return rec, err
+	}
+	if int(v) >= idSpace {
+		return rec, fmt.Errorf("vertex %d outside ID space %d", v, idSpace)
+	}
+	rec.V = v
+	deg, err := readU32(r)
+	if err != nil {
+		return rec, err
+	}
+	if int(deg) >= idSpace {
+		return rec, fmt.Errorf("vertex %d degree %d outside ID space", v, deg)
+	}
+	rec.Nbrs = make([]uint32, 0, min(int(deg), 4096))
+	for j := 0; j < int(deg); j++ {
+		u, err := readU32(r)
+		if err != nil {
+			return rec, err
+		}
+		rec.Nbrs = append(rec.Nbrs, u)
+	}
+	rec.Labels = make([]uint32, t)
+	for j := range rec.Labels {
+		if rec.Labels[j], err = readU32(r); err != nil {
+			return rec, err
+		}
+	}
+	rec.Src = make([]int32, t)
+	for j := range rec.Src {
+		x, err := readU32(r)
+		if err != nil {
+			return rec, err
+		}
+		rec.Src[j] = int32(x)
+	}
+	rec.Pos = make([]int32, t)
+	for j := range rec.Pos {
+		x, err := readU32(r)
+		if err != nil {
+			return rec, err
+		}
+		rec.Pos[j] = int32(x)
+	}
+	return rec, nil
+}
+
+// countingReader tracks bytes consumed, for shard-length framing checks.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Verify cross-checks the records against each other with the same
+// strictness Validate applies to a live State: every vertex appears exactly
+// once, every neighbor reference resolves, and every pick is either the
+// (-1, -1) fresh sentinel (with the vertex's own label) or names a current
+// neighbor — or the vertex itself when isolated — with a position in [0, t)
+// and a consistent copied label value. A checkpoint that passes Verify
+// therefore builds a State that passes Validate. Adjacency symmetry is
+// checked by BuildGraph.
+func (c *Checkpoint) Verify() error {
+	recOf := make(map[uint32]*VertexRecord)
+	dup := false
+	var dupV uint32
+	c.Records(func(rec *VertexRecord) {
+		if recOf[rec.V] != nil {
+			dup, dupV = true, rec.V
+		}
+		recOf[rec.V] = rec
+	})
+	if dup {
+		return fmt.Errorf("core: load: vertex %d recorded twice", dupV)
+	}
+	// labelAt(u, p) is u's label at position p; position 0 is the vertex ID
+	// itself. Callers have already established u is present and p <= T.
+	labelAt := func(u uint32, p int32) uint32 {
+		if p == 0 {
+			return u
+		}
+		return recOf[u].Labels[p-1]
+	}
+	var failure error
+	c.Records(func(rec *VertexRecord) {
+		if failure != nil {
+			return
+		}
+		if len(rec.Labels) != c.T || len(rec.Src) != c.T || len(rec.Pos) != c.T {
+			failure = fmt.Errorf("core: load: vertex %d record shape mismatch", rec.V)
+			return
+		}
+		// One set per vertex keeps the per-iteration source check O(1):
+		// a linear rescan of Nbrs for each of the T picks would make
+		// verification O(T·ΣdegV) on the restart path.
+		nbrSet := make(map[uint32]struct{}, len(rec.Nbrs))
+		for _, u := range rec.Nbrs {
+			if recOf[u] == nil {
+				failure = fmt.Errorf("core: load: vertex %d has absent neighbor %d", rec.V, u)
+				return
+			}
+			nbrSet[u] = struct{}{}
+		}
+		for i := 0; i < c.T; i++ {
+			t := i + 1
+			sv, pv := rec.Src[i], rec.Pos[i]
+			if sv < 0 {
+				if pv >= 0 {
+					failure = fmt.Errorf("core: load: vertex %d iter %d: sentinel src with pos %d", rec.V, t, pv)
+					return
+				}
+				if rec.Labels[i] != rec.V {
+					failure = fmt.Errorf("core: load: vertex %d iter %d: sentinel pick but label %d", rec.V, t, rec.Labels[i])
+					return
+				}
+				continue
+			}
+			src := uint32(sv)
+			srcRec := recOf[src]
+			if srcRec == nil {
+				failure = fmt.Errorf("core: load: vertex %d iter %d references absent source %d", rec.V, t, sv)
+				return
+			}
+			if pv < 0 || int(pv) >= t {
+				failure = fmt.Errorf("core: load: vertex %d iter %d has pos %d", rec.V, t, pv)
+				return
+			}
+			if src == rec.V {
+				if len(rec.Nbrs) != 0 {
+					failure = fmt.Errorf("core: load: vertex %d iter %d: self-pick but degree %d > 0", rec.V, t, len(rec.Nbrs))
+					return
+				}
+			} else if _, isNbr := nbrSet[src]; !isNbr {
+				failure = fmt.Errorf("core: load: vertex %d iter %d: src %d is not a neighbor", rec.V, t, sv)
+				return
+			}
+			if len(srcRec.Labels) != c.T {
+				failure = fmt.Errorf("core: load: vertex %d iter %d: source %d record shape mismatch", rec.V, t, sv)
+				return
+			}
+			if got, want := rec.Labels[i], labelAt(src, pv); got != want {
+				failure = fmt.Errorf("core: load: vertex %d iter %d: label %d != source %d@%d label %d",
+					rec.V, t, got, sv, pv, want)
+				return
+			}
+		}
+	})
+	return failure
+}
+
+// BuildGraph materializes the checkpoint's graph with every neighbor list in
+// its exact saved order (see graph.RestoreAdjacency for why order matters).
+func (c *Checkpoint) BuildGraph() (*graph.Graph, error) {
+	maxID := -1
+	count := 0
+	c.Records(func(rec *VertexRecord) {
+		count++
+		if int(rec.V) > maxID {
+			maxID = int(rec.V)
+		}
+	})
+	present := make([]uint32, 0, count)
+	adj := make([][]uint32, maxID+1)
+	c.Records(func(rec *VertexRecord) {
+		present = append(present, rec.V)
+		adj[rec.V] = rec.Nbrs
+	})
+	g, err := graph.RestoreAdjacency(present, adj)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	return g, nil
+}
+
+// BuildState reconstructs a sequential State from the checkpoint, merging
+// all shards: graph (exact adjacency order), label matrix, pick provenance,
+// epoch, and the reverse records rebuilt from the picks. The result passes
+// Validate, and — because adjacency order survives the round trip — evolves
+// bit-identically to a detector that never checkpointed.
+func (c *Checkpoint) BuildState() (*State, error) {
+	if err := c.Verify(); err != nil {
+		return nil, err
+	}
+	g, err := c.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	space := g.MaxVertexID()
+	s := &State{cfg: Config{T: c.T, Seed: c.Seed}, epoch: c.Epoch, g: g}
+	s.labels = make([][]uint32, space)
+	s.src = make([][]int32, space)
+	s.pos = make([][]int32, space)
+	s.recv = make([][]Record, space)
+	c.Records(func(rec *VertexRecord) {
+		v, t := rec.V, c.T
+		labels := make([]uint32, t+1)
+		srcs := make([]int32, t+1)
+		poss := make([]int32, t+1)
+		labels[0], srcs[0], poss[0] = v, -1, -1
+		copy(labels[1:], rec.Labels)
+		copy(srcs[1:], rec.Src)
+		copy(poss[1:], rec.Pos)
+		s.labels[v], s.src[v], s.pos[v] = labels, srcs, poss
+	})
+	// Rebuild the reverse records from the picks (record-symmetry
+	// invariant); Verify has already vetted every reference.
+	c.Records(func(rec *VertexRecord) {
+		for i := 0; i < c.T; i++ {
+			if sv := rec.Src[i]; sv >= 0 {
+				s.recv[sv] = append(s.recv[sv], Record{Pos: rec.Pos[i], Tar: rec.V, Iter: int32(i + 1)})
+			}
+		}
+	})
+	return s, nil
+}

@@ -5,27 +5,79 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-
-	"rslpa/internal/graph"
 )
 
-// Save / Load serialize a State so that a long-running incremental service
-// can checkpoint its label matrix and resume after a restart without
-// re-running T propagation iterations. The format is a little-endian
-// binary stream:
+// # Checkpoint format specification
 //
-//	magic "RSLPA1\n", T, seed, epoch, vertex-ID-space size,
-//	then per present vertex: id, degree, neighbors,
-//	labels[1..T], src[1..T], pos[1..T].
+// Two on-disk formats exist, distinguished by a 7-byte magic prefix. All
+// integers are little-endian; u32/u64 denote 32/64-bit unsigned fields.
 //
-// Records are not stored: they are fully determined by the (src, pos)
-// choices (Validate's record-symmetry invariant), so Load rebuilds them,
-// which keeps checkpoints ~25% smaller and structurally impossible to
-// corrupt into an inconsistent record set.
+// ## Version 1 — legacy sequential stream (magic "RSLPA1\n")
+//
+//	magic   7 bytes  "RSLPA1\n"
+//	header  5 × u64  T, seed, epoch, idSpace, present-vertex count
+//	body    present × vertex record (see framing below)
+//
+// ## Version 2 — sharded container (magic "RSLPA2\n")
+//
+//	magic   7 bytes  "RSLPA2\n"
+//	header  6 × u64  T, seed, epoch, idSpace, P (shard count),
+//	                 owner-map digest
+//	index   P × u64  per-shard byte lengths; shard s starts at
+//	                 offset 7 + 8·(6+P) + Σ_{i<s} length[i], so shards can
+//	                 be located and decoded independently (and written
+//	                 concurrently by P workers before a single concatenation)
+//	shards  P × shard blob
+//
+// A shard blob is self-contained:
+//
+//	digest  u64      FNV-1a over the shard's vertex IDs in record order
+//	count   u64      number of vertex records
+//	body    count × vertex record
+//
+// ## Vertex record framing (shared by both versions)
+//
+//	v        u32        vertex ID
+//	degree   u32        neighbor count
+//	nbrs     deg × u32  adjacency in EXACT live order (picks draw an index
+//	                    into this order; preserving it is what makes a
+//	                    restored detector resume bit-identically)
+//	labels   T × u32    label sequence l¹..l^T (l⁰ = v is implied)
+//	src      T × u32    pick sources as int32 bit patterns (-1 = sentinel)
+//	pos      T × u32    pick positions, parallel to src
+//
+// Reverse records are not stored: they are fully determined by the (src,
+// pos) choices (Validate's record-symmetry invariant), so loaders rebuild
+// them — checkpoints stay ~25% smaller and cannot encode an inconsistent
+// record set. No RNG state is stored either: every random draw is a pure
+// function of (seed, epoch, vertex, iteration), so the epoch counter IS the
+// RNG stream position.
+//
+// ## Versioning and validation rules
+//
+//   - An unrecognized magic is rejected with a version error; decoders never
+//     guess. New layouts bump the magic ("RSLPA3\n", ...); fields are never
+//     re-interpreted within a version.
+//   - The container digest is the FNV-1a combination of every shard's
+//     (count, digest) pair in shard order. It pins the owner map the
+//     checkpoint was saved under: a reordered, dropped, duplicated or
+//     bit-flipped shard fails loudly as "owner-map digest mismatch" before
+//     any state is built.
+//   - Shard byte lengths are enforced exactly: a shard that decodes to
+//     fewer or more bytes than its index entry is rejected.
+//   - Loaders re-partition records through the LOADING engine's owner map
+//     (or merge them into a sequential State), so a checkpoint saved at any
+//     P loads at any other P, on any transport.
+//
+// The version-2 implementation lives in checkpoint.go; this file keeps the
+// legacy version-1 stream working and routes loads through the shared
+// decoder.
 
 const persistMagic = "RSLPA1\n"
 
-// Save writes the State to w. The State is unchanged.
+// Save writes the State to w in the legacy version-1 stream (sequential,
+// single blob). The State is unchanged. Prefer SaveCheckpoint for new
+// writers: version 2 is what distributed detectors produce and load.
 func (s *State) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(persistMagic); err != nil {
@@ -38,31 +90,21 @@ func (s *State) Save(w io.Writer) error {
 		}
 	}
 	var failure error
+	var buf []byte
 	s.g.ForEachVertex(func(v uint32) {
 		if failure != nil {
 			return
 		}
-		nbrs := s.g.Neighbors(v)
-		if err := writeU32s(bw, v, uint32(len(nbrs))); err != nil {
-			failure = err
-			return
+		rec := VertexRecord{
+			V:      v,
+			Nbrs:   s.g.Neighbors(v),
+			Labels: s.labels[v][1:],
+			Src:    s.src[v][1:],
+			Pos:    s.pos[v][1:],
 		}
-		if err := writeU32s(bw, nbrs...); err != nil {
+		buf = appendVertexRecord(buf[:0], &rec)
+		if _, err := bw.Write(buf); err != nil {
 			failure = err
-			return
-		}
-		if err := writeU32s(bw, s.labels[v][1:]...); err != nil {
-			failure = err
-			return
-		}
-		// src and pos fit int32; store bit patterns (sentinel -1 included).
-		for _, arr := range [][]int32{s.src[v][1:], s.pos[v][1:]} {
-			for _, x := range arr {
-				if err := writeU32s(bw, uint32(x)); err != nil {
-					failure = err
-					return
-				}
-			}
 		}
 	})
 	if failure != nil {
@@ -71,126 +113,16 @@ func (s *State) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a State saved by Save and reconstructs it, including the
-// reverse records and the graph. The result passes Validate.
+// Load reads a checkpoint in either format version and reconstructs the
+// State, including the reverse records and the graph with its exact saved
+// neighbor order. The result passes Validate and evolves bit-identically to
+// a State that never round-tripped.
 func Load(r io.Reader) (*State, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, len(persistMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+	c, err := ReadCheckpoint(r)
+	if err != nil {
+		return nil, err
 	}
-	if string(magic) != persistMagic {
-		return nil, fmt.Errorf("core: load: bad magic %q", magic)
-	}
-	var hdr [5]uint64
-	for i := range hdr {
-		x, err := readU64(br)
-		if err != nil {
-			return nil, fmt.Errorf("core: load header: %w", err)
-		}
-		hdr[i] = x
-	}
-	T := int(hdr[0])
-	if T <= 0 || T > 1<<20 {
-		return nil, fmt.Errorf("core: load: implausible T=%d", T)
-	}
-	idSpace := int(hdr[3])
-	present := int(hdr[4])
-
-	s := &State{cfg: Config{T: T, Seed: hdr[1]}, epoch: hdr[2], g: graph.New()}
-	s.labels = make([][]uint32, idSpace)
-	s.src = make([][]int32, idSpace)
-	s.pos = make([][]int32, idSpace)
-	s.recv = make([][]Record, idSpace)
-
-	type pendingEdges struct {
-		v    uint32
-		nbrs []uint32
-	}
-	adjacency := make([]pendingEdges, 0, present)
-	for i := 0; i < present; i++ {
-		v, err := readU32(br)
-		if err != nil {
-			return nil, fmt.Errorf("core: load vertex %d: %w", i, err)
-		}
-		if int(v) >= idSpace {
-			return nil, fmt.Errorf("core: load: vertex %d outside ID space %d", v, idSpace)
-		}
-		deg, err := readU32(br)
-		if err != nil {
-			return nil, err
-		}
-		if int(deg) >= idSpace {
-			return nil, fmt.Errorf("core: load: vertex %d degree %d outside ID space", v, deg)
-		}
-		nbrs := make([]uint32, deg)
-		for j := range nbrs {
-			if nbrs[j], err = readU32(br); err != nil {
-				return nil, err
-			}
-		}
-		adjacency = append(adjacency, pendingEdges{v: v, nbrs: nbrs})
-
-		labels := make([]uint32, T+1)
-		srcs := make([]int32, T+1)
-		poss := make([]int32, T+1)
-		labels[0], srcs[0], poss[0] = v, -1, -1
-		for t := 1; t <= T; t++ {
-			if labels[t], err = readU32(br); err != nil {
-				return nil, err
-			}
-		}
-		for t := 1; t <= T; t++ {
-			x, err := readU32(br)
-			if err != nil {
-				return nil, err
-			}
-			srcs[t] = int32(x)
-		}
-		for t := 1; t <= T; t++ {
-			x, err := readU32(br)
-			if err != nil {
-				return nil, err
-			}
-			poss[t] = int32(x)
-		}
-		s.labels[v], s.src[v], s.pos[v] = labels, srcs, poss
-		s.g.AddVertex(v)
-	}
-	// Rebuild the edge set. Neighbor-list ORDER is not preserved by this
-	// (AddEdge appends to both endpoints), and does not need to be:
-	// future Update draws index whatever uniform-ordered list the graph
-	// holds, so a restored State evolves with the same distribution as
-	// the original — though not bit-identically to a twin that never
-	// restarted, which is fine (and documented on Save).
-	for _, pe := range adjacency {
-		for _, u := range pe.nbrs {
-			if int(u) >= idSpace || s.labels[u] == nil {
-				return nil, fmt.Errorf("core: load: vertex %d has absent neighbor %d", pe.v, u)
-			}
-			s.g.AddEdge(pe.v, u)
-		}
-	}
-
-	// Rebuild the reverse records from the picks.
-	for _, pe := range adjacency {
-		v := pe.v
-		for t := 1; t <= T; t++ {
-			sv := s.src[v][t]
-			if sv < 0 {
-				continue
-			}
-			if int(sv) >= idSpace || s.labels[sv] == nil {
-				return nil, fmt.Errorf("core: load: vertex %d iter %d references absent source %d", v, t, sv)
-			}
-			pv := s.pos[v][t]
-			if pv < 0 || int(pv) >= t {
-				return nil, fmt.Errorf("core: load: vertex %d iter %d has pos %d", v, t, pv)
-			}
-			s.recv[sv] = append(s.recv[sv], Record{Pos: pv, Tar: v, Iter: int32(t)})
-		}
-	}
-	return s, nil
+	return c.BuildState()
 }
 
 func writeU64(w io.Writer, x uint64) error {
@@ -206,17 +138,6 @@ func readU64(r io.Reader) (uint64, error) {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint64(buf[:]), nil
-}
-
-func writeU32s(w *bufio.Writer, xs ...uint32) error {
-	var buf [4]byte
-	for _, x := range xs {
-		binary.LittleEndian.PutUint32(buf[:], x)
-		if _, err := w.Write(buf[:]); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func readU32(r io.Reader) (uint32, error) {

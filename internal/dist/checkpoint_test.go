@@ -1,0 +1,202 @@
+package dist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rslpa/internal/cluster"
+	"rslpa/internal/core"
+	"rslpa/internal/dynamic"
+	"rslpa/internal/graph"
+)
+
+// saveDistributed detects on g with the given worker count, applies batch,
+// and returns the checkpoint bytes plus the driver for reference.
+func saveDistributed(t *testing.T, g *graph.Graph, cfg core.Config, workers int, batch []graph.Edit) ([]byte, *RSLPA) {
+	t.Helper()
+	eng := newEngine(t, workers)
+	d, err := NewRSLPA(eng, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) > 0 {
+		if _, err := d.Update(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), d
+}
+
+func TestDistributedSaveLoadReshards(t *testing.T) {
+	g := lfrFixture(t)
+	cfg := core.Config{T: 20, Seed: 9}
+	batch, err := dynamic.Batch(g, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := saveDistributed(t, g, cfg, 4, batch)
+
+	// Sequential reference over the same history.
+	seq := mustRunSeq(t, g, cfg)
+	seq.Update(batch)
+
+	for _, loadP := range []int{1, 2, 4, 7} {
+		c, err := core.ReadCheckpoint(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := newEngine(t, loadP)
+		d, err := NewRSLPAFromCheckpoint(eng, c)
+		if err != nil {
+			t.Fatalf("load at P=%d: %v", loadP, err)
+		}
+		requireSameLabels(t, seq.Graph(), seq, d)
+		if !d.Graph().Equal(seq.Graph()) {
+			t.Fatalf("load at P=%d: graph differs", loadP)
+		}
+	}
+}
+
+func TestDistributedLoadedDriverResumesBitIdentically(t *testing.T) {
+	g := webFixture(t)
+	cfg := core.Config{T: 15, Seed: 21}
+	batch1, err := dynamic.Batch(g, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := saveDistributed(t, g, cfg, 3, batch1)
+
+	// Uninterrupted twin: sequential, same history plus a second batch.
+	seq := mustRunSeq(t, g, cfg)
+	seq.Update(batch1)
+	batch2, err := dynamic.Batch(seq.Graph(), 40, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqStats := seq.Update(batch2)
+
+	c, err := core.ReadCheckpoint(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newEngine(t, 2)
+	d, err := NewRSLPAFromCheckpoint(eng, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dStats, err := d.Update(batch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dStats.Repicked != seqStats.Repicked || dStats.Changed != seqStats.Changed {
+		t.Fatalf("update stats diverged after restore: %+v vs %+v", dStats, seqStats)
+	}
+	requireSameLabels(t, seq.Graph(), seq, d)
+}
+
+func TestDistributedSaveMatchesSequentialCheckpointState(t *testing.T) {
+	// A distributed checkpoint must load into a sequential State identical
+	// to the one the sequential detector would have saved.
+	g := lfrFixture(t)
+	cfg := core.Config{T: 12, Seed: 2}
+	blob, _ := saveDistributed(t, g, cfg, 5, nil)
+	fromDist, err := core.Load(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fromDist.Validate(); err != nil {
+		t.Fatalf("restored state invalid: %v", err)
+	}
+	seq := mustRunSeq(t, g, cfg)
+	if !seq.EqualLabels(fromDist) {
+		t.Fatal("distributed checkpoint state differs from sequential")
+	}
+}
+
+func TestDistributedSaveBeforePropagate(t *testing.T) {
+	eng := newEngine(t, 2)
+	d, err := NewRSLPA(eng, lfrFixture(t), core.Config{T: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("Save before Propagate accepted")
+	}
+}
+
+func TestDistributedSaveOverTCPChargesWire(t *testing.T) {
+	g := lfrFixture(t)
+	eng, err := cluster.New(cluster.Config{Workers: 3, Transport: cluster.TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d, err := NewRSLPA(eng, g, core.Config{T: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.LastCheckpoint.Bytes == 0 {
+		t.Fatal("checkpoint gather charged no wire bytes")
+	}
+	// The shipped shards are the dominant content of the file itself.
+	if d.LastCheckpoint.Bytes < int64(buf.Len())/2 {
+		t.Fatalf("gather bytes %d implausibly small for a %d-byte checkpoint",
+			d.LastCheckpoint.Bytes, buf.Len())
+	}
+	st, err := core.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointDigestMismatchRejected(t *testing.T) {
+	g := lfrFixture(t)
+	blob, _ := saveDistributed(t, g, core.Config{T: 8, Seed: 3}, 3, nil)
+
+	// Flip one bit inside a shard's first vertex ID: the shard digest no
+	// longer matches and the loader must say so explicitly.
+	mut := append([]byte(nil), blob...)
+	// Header: magic(7) + 6 u64 + 3 shard lengths, then shard 0's digest(8)
+	// + count(8) + first record's vertex ID.
+	off := 7 + 8*6 + 8*3 + 16
+	mut[off] ^= 0x01
+	_, err := core.ReadCheckpoint(bytes.NewReader(mut))
+	if err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("corrupted shard vertex ID: got %v, want owner-map digest mismatch", err)
+	}
+
+	// Corrupt the header's combined digest field.
+	mut = append([]byte(nil), blob...)
+	mut[7+8*5] ^= 0xff
+	_, err = core.ReadCheckpoint(bytes.NewReader(mut))
+	if err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("corrupted header digest: got %v, want owner-map digest mismatch", err)
+	}
+}
+
+func mustRunSeq(t *testing.T, g *graph.Graph, cfg core.Config) *core.State {
+	t.Helper()
+	s, err := core.Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

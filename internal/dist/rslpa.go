@@ -32,6 +32,9 @@ type RSLPA struct {
 	// LastPostprocess reports the wire cost of the most recent Postprocess
 	// call on this driver (raw BSP supersteps, messages, bytes).
 	LastPostprocess cluster.Stats
+	// LastCheckpoint reports the wire cost of the most recent Save call:
+	// the gather of every worker's encoded shard to the master.
+	LastCheckpoint cluster.Stats
 }
 
 // NewRSLPA partitions g over the engine's workers and returns a driver

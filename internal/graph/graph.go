@@ -241,6 +241,69 @@ func (g *Graph) Edges() []uint64 {
 	return keys
 }
 
+// RestoreAdjacency rebuilds a graph from an explicit adjacency
+// representation: present lists the vertices and adj — indexed by vertex ID —
+// holds each present vertex's neighbor list. Neighbor order is preserved
+// EXACTLY (lists are copied verbatim), which is what lets a checkpoint-
+// restored detector replay future random picks bit-identically: the pick
+// rules draw an index into the live adjacency order, so a restore that
+// reordered neighbors would diverge from the never-restarted twin.
+//
+// The input is validated structurally: every neighbor must itself be
+// present, self-loops are rejected, and every undirected edge must appear
+// exactly once in each endpoint's list (symmetry, no duplicates). Entries of
+// adj beyond the present set are ignored.
+func RestoreAdjacency(present []VertexID, adj [][]VertexID) (*Graph, error) {
+	g := New()
+	for _, v := range present {
+		g.grow(v)
+		if g.exists[v] {
+			return nil, fmt.Errorf("graph: restore: vertex %d listed twice", v)
+		}
+		g.exists[v] = true
+		g.n++
+	}
+	// Each undirected edge {u, v} must be seen from both sides exactly once:
+	// bit 1 marks the u<v half, bit 2 the v<u half.
+	seen := make(map[uint64]uint8, len(present))
+	for _, v := range present {
+		var list []VertexID
+		if int(v) < len(adj) {
+			list = adj[v]
+		}
+		if len(list) == 0 {
+			continue
+		}
+		g.adj[v] = append([]VertexID(nil), list...)
+		for _, u := range list {
+			if u == v {
+				return nil, fmt.Errorf("graph: restore: self-loop at %d", v)
+			}
+			if !g.HasVertex(u) {
+				return nil, fmt.Errorf("graph: restore: vertex %d lists absent neighbor %d", v, u)
+			}
+			var bit uint8 = 1
+			if v > u {
+				bit = 2
+			}
+			k := EdgeKey(v, u)
+			if seen[k]&bit != 0 {
+				return nil, fmt.Errorf("graph: restore: duplicate neighbor %d at vertex %d", u, v)
+			}
+			seen[k] |= bit
+		}
+	}
+	for k, bits := range seen {
+		if bits != 3 {
+			u, v := UnpackEdgeKey(k)
+			return nil, fmt.Errorf("graph: restore: edge %d-%d not symmetric", u, v)
+		}
+		g.edges[k] = struct{}{}
+	}
+	g.m = len(seen)
+	return g, nil
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{

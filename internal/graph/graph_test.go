@@ -278,3 +278,59 @@ func TestMaxVertexIDCountsDeleted(t *testing.T) {
 		t.Fatalf("MaxVertexID = %d, want 10 (ID space keeps deleted slots)", g.MaxVertexID())
 	}
 }
+
+func TestRestoreAdjacencyPreservesOrder(t *testing.T) {
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.RemoveEdge(0, 1) // swap-removal reorders 0's list: [2, 3]
+	g.AddVertex(7)     // isolated vertex must survive the round trip
+
+	present := g.Vertices()
+	adj := make([][]VertexID, g.MaxVertexID())
+	for _, v := range present {
+		adj[v] = append([]VertexID(nil), g.Neighbors(v)...)
+	}
+	r, err := RestoreAdjacency(present, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(g) {
+		t.Fatal("restored graph differs")
+	}
+	for _, v := range present {
+		want, got := g.Neighbors(v), r.Neighbors(v)
+		if len(want) != len(got) {
+			t.Fatalf("vertex %d: degree %d vs %d", v, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("vertex %d: neighbor order not preserved: %v vs %v", v, want, got)
+			}
+		}
+	}
+}
+
+func TestRestoreAdjacencyRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name    string
+		present []VertexID
+		adj     [][]VertexID
+	}{
+		{"asymmetric", []VertexID{0, 1}, [][]VertexID{{1}, nil}},
+		{"duplicate-neighbor", []VertexID{0, 1}, [][]VertexID{{1, 1}, {0, 0}}},
+		{"self-loop", []VertexID{0}, [][]VertexID{{0}}},
+		{"absent-neighbor", []VertexID{0}, [][]VertexID{{5}}},
+		{"vertex-twice", []VertexID{0, 0}, [][]VertexID{nil}},
+	}
+	for _, tc := range cases {
+		if _, err := RestoreAdjacency(tc.present, tc.adj); err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+	}
+}
