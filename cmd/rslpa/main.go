@@ -1,13 +1,19 @@
-// Command rslpa detects overlapping communities in an edge-list graph
-// using either rSLPA (default) or the SLPA baseline, optionally on the
-// distributed BSP engine.
+// Command rslpa detects overlapping communities in dynamic graphs.
 //
-// Usage:
+// Two subcommands:
 //
-//	rslpa -graph web.txt -T 200 -workers 4 -out communities.txt
-//	rslpa -graph web.txt -algo slpa -T 100 -tau 0.2
+//	rslpa detect -graph web.txt -T 200 -workers 4 -out communities.txt
+//	rslpa detect -graph web.txt -algo slpa -T 100 -tau 0.2
+//	rslpa serve  -graph web.txt -addr :7463 -checkpoint state.ckpt
 //
-// With -truth, the NMI against a ground-truth cover is reported.
+// detect runs one-shot detection (rSLPA by default, or the SLPA baseline,
+// optionally on the distributed BSP engine); with -truth it reports NMI
+// against a ground-truth cover. serve starts the streaming detection
+// service: an HTTP front end that ingests edge edits and answers
+// snapshot-consistent community queries while maintenance runs.
+//
+// Invoking rslpa with flags but no subcommand behaves as detect, for
+// compatibility with earlier versions.
 package main
 
 import (
@@ -21,21 +27,40 @@ import (
 )
 
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "detect":
+			runDetect(args[1:])
+			return
+		case "serve":
+			runServe(args[1:])
+			return
+		case "help", "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: rslpa <detect|serve> [flags]  (run with -h after a subcommand for its flags)")
+			os.Exit(2)
+		}
+	}
+	runDetect(args) // legacy: bare flags mean detect
+}
+
+func runDetect(args []string) {
+	fs := flag.NewFlagSet("rslpa detect", flag.ExitOnError)
 	var (
-		graphPath = flag.String("graph", "", "edge list input file (required)")
-		algo      = flag.String("algo", "rslpa", "algorithm: rslpa or slpa")
-		T         = flag.Int("T", 0, "iterations (0 = algorithm default: 200 rSLPA, 100 SLPA)")
-		tau       = flag.Float64("tau", 0.2, "SLPA membership threshold")
-		seed      = flag.Uint64("seed", 1, "PRNG seed")
-		workers   = flag.Int("workers", 0, "rSLPA: BSP workers (0 = sequential)")
-		tcp       = flag.Bool("tcp", false, "rSLPA: use loopback TCP transport")
-		out       = flag.String("out", "", "communities output file (one per line)")
-		truthPath = flag.String("truth", "", "ground-truth cover for NMI scoring")
+		graphPath = fs.String("graph", "", "edge list input file (required)")
+		algo      = fs.String("algo", "rslpa", "algorithm: rslpa or slpa")
+		T         = fs.Int("T", 0, "iterations (0 = algorithm default: 200 rSLPA, 100 SLPA)")
+		tau       = fs.Float64("tau", 0.2, "SLPA membership threshold")
+		seed      = fs.Uint64("seed", 1, "PRNG seed")
+		workers   = fs.Int("workers", 0, "rSLPA: BSP workers (0 = sequential)")
+		tcp       = fs.Bool("tcp", false, "rSLPA: use loopback TCP transport")
+		out       = fs.String("out", "", "communities output file (one per line)")
+		truthPath = fs.String("truth", "", "ground-truth cover for NMI scoring")
 	)
-	flag.Parse()
+	fs.Parse(args)
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "rslpa: -graph is required")
-		flag.Usage()
+		fs.Usage()
 		os.Exit(2)
 	}
 

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rslpa"
+)
+
+// runServe starts the streaming detection service: detect (or resume from
+// a checkpoint), then serve the HTTP front end until SIGINT/SIGTERM.
+//
+//	POST /edits        ingest edge edits (?wait=1 → apply before replying)
+//	GET  /communities  current snapshot's overlapping communities
+//	GET  /vertex/{v}   membership + degree of one vertex
+//	GET  /stats        queue depth, epoch, batch/latency counters
+//	GET  /healthz      liveness
+func runServe(args []string) {
+	fs := flag.NewFlagSet("rslpa serve", flag.ExitOnError)
+	var (
+		graphPath = fs.String("graph", "", "edge list to detect on at startup (omit to start from an empty graph)")
+		addr      = fs.String("addr", ":7463", "HTTP listen address")
+		T         = fs.Int("T", 0, "propagation iterations (0 = 200)")
+		seed      = fs.Uint64("seed", 1, "PRNG seed")
+		workers   = fs.Int("workers", 0, "BSP workers (0 = sequential)")
+		tcp       = fs.Bool("tcp", false, "use loopback TCP transport between workers")
+		batch     = fs.Int("batch", 512, "max net edits per update batch")
+		flush     = fs.Duration("flush", 100*time.Millisecond, "max delay before a partial batch is applied")
+		queue     = fs.Int("queue", 4096, "ingest queue capacity (edits); full queue blocks producers")
+		ckpt      = fs.String("checkpoint", "", "checkpoint file; loaded at startup when present, rewritten while serving")
+		ckptEvery = fs.Int("checkpoint-every", 16, "batches between checkpoints")
+	)
+	fs.Parse(args)
+
+	det, resumed, err := openDetector(*graphPath, *ckpt, rslpa.Config{T: *T, Seed: *seed, Workers: *workers, TCP: *tcp})
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := rslpa.NewService(det, rslpa.ServiceOptions{
+		QueueCapacity:   *queue,
+		MaxBatch:        *batch,
+		FlushInterval:   *flush,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		det.Close()
+		fatal(err)
+	}
+	sn := svc.Snapshot()
+	mode := "detected"
+	if resumed {
+		mode = "resumed from checkpoint"
+	}
+	fmt.Printf("serving on %s: %d vertices, %d edges (%s)\n", *addr, sn.NumVertices(), sn.NumEdges(), mode)
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down: draining queue, applying final batch")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	if err := svc.Close(); err != nil {
+		fatal(err)
+	}
+	st := svc.Stats()
+	fmt.Printf("served %d epochs, %d edits applied (%d coalesced away), %d checkpoints\n",
+		st.Epoch, st.AppliedEdits, st.CoalescedEdits, st.Checkpoints)
+}
+
+// openDetector resumes from the checkpoint when one exists, otherwise
+// detects on the start graph (or an empty one).
+func openDetector(graphPath, ckpt string, cfg rslpa.Config) (*rslpa.Detector, bool, error) {
+	if ckpt != "" {
+		f, err := os.Open(ckpt)
+		if err == nil {
+			defer f.Close()
+			det, err := rslpa.LoadDetector(f, cfg)
+			if err != nil {
+				return nil, false, fmt.Errorf("load checkpoint %s: %w", ckpt, err)
+			}
+			return det, true, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, false, err
+		}
+	}
+	g := rslpa.NewGraph()
+	if graphPath != "" {
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, false, err
+		}
+		g, err = rslpa.ReadEdgeList(f)
+		f.Close()
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	det, err := rslpa.Detect(g, cfg)
+	return det, false, err
+}

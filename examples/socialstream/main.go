@@ -1,13 +1,15 @@
-// Socialstream simulates the paper's motivating scenario: a social network
-// whose friendship graph changes continuously while an analyst wants
-// up-to-date overlapping communities.
+// Socialstream runs the paper's motivating scenario as a live service: a
+// social network whose friendship graph changes continuously while many
+// clients want up-to-date overlapping communities.
 //
 // An LFR benchmark graph with planted ground truth stands in for the
-// network. A stream of uniform edit batches mutates it; after every batch
-// the detector repairs its state incrementally, and periodically we
-// "publish" communities (the paper's suggestion: handle changes
-// continuously, extract communities once per hour). Incremental quality is
-// verified against a from-scratch run on the final graph.
+// network. Four producer goroutines race edit streams into the Service's
+// bounded queue; the service coalesces them into canonical batches and
+// repairs the detection state incrementally; four reader goroutines query
+// communities and memberships the whole time, always answered from a
+// consistent epoch snapshot that never blocks maintenance. The service
+// checkpoints itself as it goes, and at the end the example restarts from
+// that checkpoint and verifies the restored state is bit-identical.
 //
 // Run with: go run ./examples/socialstream
 package main
@@ -15,6 +17,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rslpa"
@@ -37,57 +44,141 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer det.Close()
-	fmt.Printf("initial detection: %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("initial detection: %v\n", time.Since(start).Round(time.Millisecond))
 
-	// Stream: 12 batches of 200 edits (half new friendships, half ended).
+	dir, err := os.MkdirTemp("", "socialstream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "service.ckpt")
+
+	svc, err := rslpa.NewService(det, rslpa.ServiceOptions{
+		MaxBatch:        200,
+		FlushInterval:   20 * time.Millisecond,
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The edit stream: 12 batches of 200 edits (half new friendships,
+	// half ended), generated against the evolving graph up front so the
+	// producers can race them in concurrently.
 	const batches, batchSize = 12, 200
-	stream := g.Clone()
-	var totalInc time.Duration
-	for i := 0; i < batches; i++ {
-		batch, err := dynamic.Batch(stream, batchSize, uint64(1000+i))
-		if err != nil {
-			log.Fatal(err)
-		}
-		stream.Apply(batch)
+	evolving := g.Clone()
+	stream, err := dynamic.Stream(evolving, batchSize, batches, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var edits []rslpa.Edit
+	for _, b := range stream {
+		edits = append(edits, b...)
+	}
 
-		t0 := time.Now()
-		stats, err := det.Update(batch)
-		if err != nil {
-			log.Fatal(err)
-		}
-		inc := time.Since(t0)
-		totalInc += inc
-		fmt.Printf("batch %2d: %3d+ %3d-  repaired %6d labels in %8v\n",
-			i+1, stats.Inserted, stats.Deleted, stats.Touched, inc.Round(time.Microsecond))
-
-		if (i+1)%4 == 0 { // publish every 4th batch
-			res, err := det.Communities()
-			if err != nil {
-				log.Fatal(err)
+	// Four producers push interleaved slices of the stream; four readers
+	// query concurrently, each from whatever consistent epoch is current.
+	const producers, readers = 4, 4
+	var (
+		pwg, rwg   sync.WaitGroup
+		stop       = make(chan struct{})
+		queryCount atomic.Uint64
+		epochsSeen sync.Map
+	)
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := svc.Snapshot()
+				epochsSeen.Store(sn.Epoch(), true)
+				v := uint32(rng.Intn(n))
+				sn.Labels(v) // label reads are a few ns: plain loads from the frozen matrix
+				if rng.Intn(200) == 0 {
+					// Membership pays for the (per-snapshot memoized)
+					// community extraction on first touch.
+					if member, err := sn.Membership(v); err == nil && rng.Intn(20) == 0 {
+						fmt.Printf("  reader %d @epoch %d: member %d is in %d circles\n",
+							r, sn.Epoch(), v, len(member))
+					}
+				}
+				queryCount.Add(1)
 			}
-			fmt.Printf("  published: %d communities (%d strong, %d weak memberships), NMI vs truth %.3f\n",
-				res.Communities.Len(), res.Strong, res.Weak,
-				rslpa.NMI(res.Communities, truth, n))
-		}
+		}(r)
+	}
+	streamStart := time.Now()
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := p; i < len(edits); i += producers {
+				if err := svc.Submit(edits[i]); err != nil {
+					log.Print(err)
+					return
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	if err := svc.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	streamed := time.Since(streamStart)
+	close(stop)
+	rwg.Wait()
+
+	st := svc.Stats()
+	var epochs int
+	epochsSeen.Range(func(any, any) bool { epochs++; return true })
+	fmt.Printf("\nstreamed %d edits in %v through %d producers: %d batches applied, %d edits coalesced away\n",
+		st.SubmittedEdits, streamed.Round(time.Millisecond), producers, st.Batches, st.CoalescedEdits)
+	fmt.Printf("readers issued %d queries across %d distinct epochs while maintenance ran\n",
+		queryCount.Load(), epochs)
+	fmt.Printf("update latency: last %dµs, mean %dµs/batch\n",
+		st.LastUpdateMicros, st.TotalUpdateMicros/int64(st.Batches))
+
+	res, epoch, err := svc.Communities()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published @epoch %d: %d communities (%d strong, %d weak memberships), NMI vs truth %.3f\n",
+		epoch, res.Communities.Len(), res.Strong, res.Weak,
+		rslpa.NMI(res.Communities, truth, n))
+
+	final := svc.Snapshot()
+	if err := svc.Close(); err != nil {
+		log.Fatal(err)
 	}
 
-	// Sanity: an analyst re-running from scratch on the final graph gets
-	// communities of the same quality — incremental lost nothing.
-	t0 := time.Now()
-	fresh, err := rslpa.Detect(stream, rslpa.Config{Seed: 99})
+	// Restart from the service's own checkpoint: the restored detector
+	// resumes bit-identically to the state the service closed with.
+	f, err := os.Open(ckpt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer fresh.Close()
-	scratchTime := time.Since(t0)
-	incRes, _ := det.Communities()
-	freshRes, err := fresh.Communities()
+	restored, err := rslpa.LoadDetector(f, rslpa.Config{})
+	f.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nincremental repair averaged %v per batch; re-detecting from scratch costs %v per refresh\n",
-		(totalInc / batches).Round(time.Millisecond), scratchTime.Round(time.Millisecond))
-	fmt.Printf("quality: incremental NMI %.3f vs from-scratch NMI %.3f (vs ground truth)\n",
-		rslpa.NMI(incRes.Communities, truth, n), rslpa.NMI(freshRes.Communities, truth, n))
+	defer restored.Close()
+	for v := uint32(0); v < n; v++ {
+		a, b := final.Labels(v), restored.Labels(v)
+		if len(a) != len(b) {
+			log.Fatalf("restart diverged at member %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				log.Fatalf("restart diverged at member %d label %d", v, i)
+			}
+		}
+	}
+	fmt.Printf("restart check: restored detector matches the final snapshot bit for bit (epoch %d)\n", final.Epoch())
 }

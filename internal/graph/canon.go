@@ -1,0 +1,107 @@
+package graph
+
+import "sort"
+
+// Canonical edit batches.
+//
+// A raw edit batch may contain self-loops, edits that do not change the
+// graph (inserting a present edge, deleting an absent one), several edits
+// of the same edge in either orientation, and insert/delete pairs that net
+// out. The Coalescer folds such a stream into its *canonical* form against
+// a reference graph: at most one edit per edge, each oriented U < V, sorted
+// by packed edge key, containing exactly the edits whose application
+// changes the edge set. Applying the canonical batch to the reference graph
+// produces the same vertex and edge sets as applying the raw stream in
+// order — with one deliberate exception: vertices that would only be
+// created by edits that later cancel (insert u-v then delete u-v of a
+// never-seen edge) are not materialized.
+//
+// Canonical batches matter for reproducibility: the incremental update path
+// appends to adjacency lists in edit order and random picks index into
+// those lists, so two raw batches with the same net effect but different
+// orderings would otherwise drive detection to different (equally valid)
+// results. After canonicalization the applied batch is a pure function of
+// the net edit set, which is what lets the streaming service coalesce
+// concurrent producers and still match a serial caller bit for bit.
+
+// Coalescer incrementally folds a stream of edge edits into the pending
+// canonical batch. The reference graph is only read (HasEdge) and must not
+// be mutated between the first Add after a Flush and the Flush that
+// consumes those edits. A Coalescer is not safe for concurrent use.
+type Coalescer struct {
+	g *Graph
+	// pending maps the packed key of every edge whose net state differs
+	// from the reference graph to its *original* presence there (true →
+	// the net edit is a delete, false → an insert).
+	pending map[uint64]bool
+}
+
+// NewCoalescer returns an empty coalescer folding edits against g.
+func NewCoalescer(g *Graph) *Coalescer {
+	return &Coalescer{g: g, pending: make(map[uint64]bool)}
+}
+
+// Add folds one edit into the pending batch. It returns the change in net
+// batch size: +1 if the edit introduced a net change, -1 if it cancelled a
+// pending one, 0 if it was absorbed (self-loop, no-op against the graph,
+// or duplicate of a pending edit).
+func (c *Coalescer) Add(e Edit) int {
+	if e.U == e.V {
+		return 0
+	}
+	k := EdgeKey(e.U, e.V)
+	want := e.Op == Insert
+	if orig, ok := c.pending[k]; ok {
+		// The edge has a pending net change, so its current state is
+		// !orig. Flipping back to the original cancels; repeating the
+		// pending change is a duplicate.
+		if want == orig {
+			delete(c.pending, k)
+			return -1
+		}
+		return 0
+	}
+	if want == c.g.HasEdge(e.U, e.V) {
+		return 0
+	}
+	c.pending[k] = !want
+	return 1
+}
+
+// Len reports the current net batch size.
+func (c *Coalescer) Len() int { return len(c.pending) }
+
+// Flush returns the pending edits as a canonical batch — one edit per
+// edge, U < V, ascending edge-key order — and resets the coalescer. It
+// returns nil when nothing is pending.
+func (c *Coalescer) Flush() []Edit {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	keys := make([]uint64, 0, len(c.pending))
+	for k := range c.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	batch := make([]Edit, len(keys))
+	for i, k := range keys {
+		u, v := UnpackEdgeKey(k)
+		op := Insert
+		if c.pending[k] { // originally present → net delete
+			op = Delete
+		}
+		batch[i] = Edit{Op: op, U: u, V: v}
+	}
+	clear(c.pending)
+	return batch
+}
+
+// Canonicalize reduces batch to its canonical form against g; see the
+// package comment on canonical batches. g is not mutated.
+func Canonicalize(g *Graph, batch []Edit) []Edit {
+	c := NewCoalescer(g)
+	for _, e := range batch {
+		c.Add(e)
+	}
+	return c.Flush()
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func canonGraph() *Graph {
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func TestCanonicalizeOrientsAndSorts(t *testing.T) {
+	g := canonGraph()
+	got := Canonicalize(g, []Edit{
+		{Op: Insert, U: 9, V: 4}, // reversed orientation
+		{Op: Insert, U: 0, V: 5},
+	})
+	want := []Edit{
+		{Op: Insert, U: 0, V: 5},
+		{Op: Insert, U: 4, V: 9},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestCanonicalizeDropsSelfLoopsAndNoOps(t *testing.T) {
+	g := canonGraph()
+	got := Canonicalize(g, []Edit{
+		{Op: Insert, U: 7, V: 7},  // self-loop
+		{Op: Insert, U: 0, V: 1},  // already present
+		{Op: Delete, U: 5, V: 6},  // absent
+		{Op: Delete, U: 3, V: 3},  // self-loop
+	})
+	if got != nil {
+		t.Fatalf("expected empty canonical batch, got %v", got)
+	}
+}
+
+func TestCanonicalizeCancelsPairs(t *testing.T) {
+	g := canonGraph()
+	// Insert then delete of an absent edge nets out.
+	if got := Canonicalize(g, []Edit{
+		{Op: Insert, U: 5, V: 6},
+		{Op: Delete, U: 6, V: 5},
+	}); got != nil {
+		t.Fatalf("insert+delete not cancelled: %v", got)
+	}
+	// Delete then re-insert of a present edge nets out.
+	if got := Canonicalize(g, []Edit{
+		{Op: Delete, U: 1, V: 2},
+		{Op: Insert, U: 2, V: 1},
+	}); got != nil {
+		t.Fatalf("delete+insert not cancelled: %v", got)
+	}
+	// Delete then insert then delete again of a present edge nets to one delete.
+	got := Canonicalize(g, []Edit{
+		{Op: Delete, U: 1, V: 2},
+		{Op: Insert, U: 1, V: 2},
+		{Op: Delete, U: 1, V: 2},
+	})
+	want := []Edit{{Op: Delete, U: 1, V: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestCanonicalizeDeduplicates(t *testing.T) {
+	g := canonGraph()
+	got := Canonicalize(g, []Edit{
+		{Op: Insert, U: 4, V: 5},
+		{Op: Insert, U: 5, V: 4},
+		{Op: Insert, U: 4, V: 5},
+	})
+	want := []Edit{{Op: Insert, U: 4, V: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// The canonical batch is a pure function of the edit multiset's net effect:
+// any permutation of the raw batch canonicalizes identically.
+func TestCanonicalizeOrderIndependent(t *testing.T) {
+	g := canonGraph()
+	raw := []Edit{
+		{Op: Insert, U: 0, V: 3},
+		{Op: Delete, U: 1, V: 2},
+		{Op: Insert, U: 5, V: 9},
+		{Op: Insert, U: 9, V: 5}, // duplicate, reversed
+		{Op: Delete, U: 2, V: 3},
+	}
+	want := Canonicalize(g, raw)
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		perm := make([]Edit, len(raw))
+		for i, j := range r.Perm(len(raw)) {
+			perm[i] = raw[j]
+		}
+		if got := Canonicalize(g, perm); !reflect.DeepEqual(got, want) {
+			t.Fatalf("permutation %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+// Applying the canonical batch yields the same edge set as applying the raw
+// batch in order, for random graphs and random raw batches.
+func TestCanonicalizePreservesNetEffect(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := New()
+		for i := 0; i < 40; i++ {
+			g.AddEdge(uint32(r.Intn(12)), uint32(r.Intn(12)))
+		}
+		raw := make([]Edit, 0, 60)
+		for i := 0; i < 60; i++ {
+			op := Insert
+			if r.Intn(2) == 0 {
+				op = Delete
+			}
+			raw = append(raw, Edit{Op: op, U: uint32(r.Intn(12)), V: uint32(r.Intn(12))})
+		}
+		canon := Canonicalize(g, raw)
+
+		perEdge := make(map[uint64]int)
+		for _, e := range canon {
+			if e.U >= e.V {
+				t.Fatalf("trial %d: edit %v not oriented", trial, e)
+			}
+			perEdge[EdgeKey(e.U, e.V)]++
+		}
+		for k, n := range perEdge {
+			if n > 1 {
+				u, v := UnpackEdgeKey(k)
+				t.Fatalf("trial %d: edge %d-%d edited %d times", trial, u, v, n)
+			}
+		}
+
+		a, b := g.Clone(), g.Clone()
+		a.Apply(raw)
+		b.Apply(canon)
+		if a.NumEdges() != b.NumEdges() {
+			t.Fatalf("trial %d: raw → %d edges, canonical → %d", trial, a.NumEdges(), b.NumEdges())
+		}
+		for _, k := range a.Edges() {
+			u, v := UnpackEdgeKey(k)
+			if !b.HasEdge(u, v) {
+				t.Fatalf("trial %d: edge %d-%d missing after canonical apply", trial, u, v)
+			}
+		}
+	}
+}
+
+func TestCoalescerIncremental(t *testing.T) {
+	g := canonGraph()
+	c := NewCoalescer(g)
+	if d := c.Add(Edit{Op: Insert, U: 4, V: 5}); d != 1 {
+		t.Fatalf("fresh insert delta %d", d)
+	}
+	if d := c.Add(Edit{Op: Insert, U: 5, V: 4}); d != 0 {
+		t.Fatalf("duplicate insert delta %d", d)
+	}
+	if d := c.Add(Edit{Op: Delete, U: 4, V: 5}); d != -1 {
+		t.Fatalf("cancelling delete delta %d", d)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len %d after cancellation", c.Len())
+	}
+	c.Add(Edit{Op: Delete, U: 0, V: 1})
+	c.Add(Edit{Op: Insert, U: 8, V: 2})
+	batch := c.Flush()
+	want := []Edit{
+		{Op: Delete, U: 0, V: 1},
+		{Op: Insert, U: 2, V: 8},
+	}
+	if !reflect.DeepEqual(batch, want) {
+		t.Fatalf("flush got %v want %v", batch, want)
+	}
+	if c.Len() != 0 || c.Flush() != nil {
+		t.Fatal("coalescer not reset by Flush")
+	}
+}

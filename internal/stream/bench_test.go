@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"rslpa/internal/core"
+	"rslpa/internal/dynamic"
+	"rslpa/internal/graph"
+	"rslpa/internal/lfr"
+)
+
+// BenchmarkStreamServe measures the serving workload end to end: four
+// producers push an edit stream through the bounded queue while four
+// readers issue snapshot queries, and the run reports ingest throughput
+// plus the p50/p99 query latency observed *during* sustained updates —
+// the CI smoke emits these as BENCH_stream.json.
+func BenchmarkStreamServe(b *testing.B) {
+	const (
+		producers = 4
+		readers   = 4
+		nVertices = 500
+		editCount = 4000
+	)
+	params := lfr.Default(nVertices)
+	params.AvgDeg, params.MaxDeg = 10, 30
+	gen, err := lfr.Generate(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for range b.N {
+		b.StopTimer() // per-iteration setup is not part of the serving cost
+		st, err := core.Run(gen.Graph, core.Config{T: 50, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := New(seqDet{st}, Options{MaxBatch: 256, FlushInterval: 5 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		// Pre-generate the stream so generation cost stays out of the run.
+		evolving := gen.Graph.Clone()
+		batches, err := dynamic.Stream(evolving, editCount/8, 8, 77)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var edits []graph.Edit
+		for _, batch := range batches {
+			edits = append(edits, batch...)
+		}
+
+		var (
+			wg        sync.WaitGroup
+			stop      = make(chan struct{})
+			latencies = make([][]time.Duration, readers)
+		)
+		for r := range readers {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				lat := make([]time.Duration, 0, 4096)
+				v := uint32(r)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						latencies[r] = lat
+						return
+					default:
+					}
+					t0 := time.Now()
+					sn := svc.Snapshot()
+					sn.Labels(v % uint32(nVertices))
+					if i%64 == 0 {
+						sn.Membership(v % uint32(nVertices))
+					}
+					lat = append(lat, time.Since(t0))
+					v += 7
+				}
+			}(r)
+		}
+
+		b.StartTimer()
+		start := time.Now()
+		var pwg sync.WaitGroup
+		per := len(edits) / producers
+		for p := range producers {
+			lo, hi := p*per, (p+1)*per
+			if p == producers-1 {
+				hi = len(edits)
+			}
+			pwg.Add(1)
+			go func(chunk []graph.Edit) {
+				defer pwg.Done()
+				for _, e := range chunk {
+					svc.Submit(e)
+				}
+			}(edits[lo:hi])
+		}
+		pwg.Wait()
+		if err := svc.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		ingest := time.Since(start)
+		close(stop)
+		wg.Wait()
+		b.StopTimer()
+
+		var all []time.Duration
+		for _, lat := range latencies {
+			all = append(all, lat...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		stats := svc.Stats()
+		svc.Close()
+
+		b.ReportMetric(float64(len(edits))/ingest.Seconds(), "ingest-edits/sec")
+		if len(all) > 0 {
+			b.ReportMetric(float64(all[len(all)/2].Nanoseconds()), "p50-query-ns")
+			b.ReportMetric(float64(all[len(all)*99/100].Nanoseconds()), "p99-query-ns")
+			b.ReportMetric(float64(len(all)), "queries")
+		}
+		b.ReportMetric(float64(stats.Batches), "batches")
+	}
+}

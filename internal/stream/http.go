@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"rslpa/internal/graph"
+)
+
+// maxEditBody bounds a single POST /edits body (16 MiB ≈ one million
+// edits), protecting the service from unbounded request buffering.
+const maxEditBody = 16 << 20
+
+// HTTP front end. All bodies are JSON.
+//
+//	POST /edits        {"edits":[{"op":"insert","u":1,"v":2}, ...]}
+//	                   (a bare array of edits is also accepted; append
+//	                   ?wait=1 to drain before replying — read-your-writes)
+//	GET  /communities  the current snapshot's cover with its epoch
+//	GET  /vertex/{v}   membership and degree of one vertex
+//	                   (?labels=1 includes the raw label sequence)
+//	GET  /stats        operational counters (see Stats)
+//	GET  /healthz      200 while the service accepts edits, 503 after Close
+
+// editJSON is the wire form of one edge edit.
+type editJSON struct {
+	Op string `json:"op"` // "insert" or "delete"
+	U  uint32 `json:"u"`
+	V  uint32 `json:"v"`
+}
+
+func (e editJSON) edit() (graph.Edit, error) {
+	switch e.Op {
+	case "insert":
+		return graph.Edit{Op: graph.Insert, U: e.U, V: e.V}, nil
+	case "delete":
+		return graph.Edit{Op: graph.Delete, U: e.U, V: e.V}, nil
+	default:
+		return graph.Edit{}, fmt.Errorf("unknown op %q (want \"insert\" or \"delete\")", e.Op)
+	}
+}
+
+// Handler returns the service's HTTP front end.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /edits", s.handleEdits)
+	mux.HandleFunc("GET /communities", s.handleCommunities)
+	mux.HandleFunc("GET /vertex/{v}", s.handleVertex)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleEdits(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEditBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var wire []editJSON
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		err = json.Unmarshal(trimmed, &wire)
+	} else {
+		var envelope struct {
+			Edits []editJSON `json:"edits"`
+		}
+		err = json.Unmarshal(trimmed, &envelope)
+		wire = envelope.Edits
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode edits: %w", err))
+		return
+	}
+	edits := make([]graph.Edit, len(wire))
+	for i, e := range wire {
+		ed, err := e.edit()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("edit %d: %w", i, err))
+			return
+		}
+		edits[i] = ed
+	}
+	if err := s.Submit(edits...); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	resp := map[string]any{"accepted": len(edits), "queue_depth": len(s.in)}
+	if r.URL.Query().Get("wait") != "" {
+		if err := s.Drain(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		resp["epoch"] = s.snap.Load().Epoch()
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Service) handleCommunities(w http.ResponseWriter, r *http.Request) {
+	sn := s.Snapshot()
+	res, err := sn.Communities()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":       sn.Epoch(),
+		"vertices":    sn.NumVertices(),
+		"edges":       sn.NumEdges(),
+		"tau1":        res.Tau1,
+		"tau2":        res.Tau2,
+		"entropy":     res.Entropy,
+		"strong":      res.Strong,
+		"weak":        res.Weak,
+		"communities": res.Cover.Communities(),
+	})
+}
+
+func (s *Service) handleVertex(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("v"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("vertex id: %w", err))
+		return
+	}
+	v := uint32(id)
+	sn := s.Snapshot()
+	resp := map[string]any{
+		"epoch":   sn.Epoch(),
+		"vertex":  v,
+		"present": sn.HasVertex(v),
+		"degree":  sn.Degree(v),
+	}
+	if sn.HasVertex(v) {
+		member, err := sn.Membership(v)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if member == nil {
+			member = []int{}
+		}
+		resp["communities"] = member
+		if r.URL.Query().Get("labels") != "" {
+			resp["labels"] = sn.Labels(v)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.quit:
+		writeError(w, http.StatusServiceUnavailable, ErrClosed)
+	default:
+		if err := s.failureErr(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": s.snap.Load().Epoch()})
+	}
+}

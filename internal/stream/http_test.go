@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rslpa/internal/core"
+)
+
+func newHTTPService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	st, err := core.Run(testGraph(), core.Config{T: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(seqDet{st}, Options{FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { srv.Close(); s.Close() })
+	return s, srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPEditsAndCommunities(t *testing.T) {
+	_, srv := newHTTPService(t)
+
+	// Bare-array form with read-your-writes.
+	var post struct {
+		Accepted int    `json:"accepted"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	code := postJSON(t, srv.URL+"/edits?wait=1",
+		`[{"op":"insert","u":0,"v":5},{"op":"delete","u":2,"v":3}]`, &post)
+	if code != http.StatusAccepted || post.Accepted != 2 || post.Epoch != 1 {
+		t.Fatalf("POST /edits: code=%d accepted=%d epoch=%d", code, post.Accepted, post.Epoch)
+	}
+
+	// Envelope form.
+	code = postJSON(t, srv.URL+"/edits?wait=1", `{"edits":[{"op":"insert","u":1,"v":4}]}`, &post)
+	if code != http.StatusAccepted || post.Epoch != 2 {
+		t.Fatalf("POST envelope: code=%d epoch=%d", code, post.Epoch)
+	}
+
+	var comm struct {
+		Epoch       uint64     `json:"epoch"`
+		Vertices    int        `json:"vertices"`
+		Edges       int        `json:"edges"`
+		Communities [][]uint32 `json:"communities"`
+	}
+	if code := getJSON(t, srv.URL+"/communities", &comm); code != http.StatusOK {
+		t.Fatalf("GET /communities: %d", code)
+	}
+	if comm.Epoch != 2 || comm.Vertices != 6 || comm.Edges != 8 {
+		t.Fatalf("communities: %+v", comm)
+	}
+	if len(comm.Communities) == 0 {
+		t.Fatal("no communities served")
+	}
+}
+
+func TestHTTPVertex(t *testing.T) {
+	_, srv := newHTTPService(t)
+	var got struct {
+		Epoch       uint64 `json:"epoch"`
+		Present     bool   `json:"present"`
+		Degree      int    `json:"degree"`
+		Communities []int  `json:"communities"`
+		Labels      []int  `json:"labels"`
+	}
+	if code := getJSON(t, srv.URL+"/vertex/2?labels=1", &got); code != http.StatusOK {
+		t.Fatalf("GET /vertex/2: %d", code)
+	}
+	if !got.Present || got.Degree != 3 || len(got.Labels) != 21 {
+		t.Fatalf("vertex 2: %+v", got)
+	}
+	if got.Communities == nil {
+		t.Fatal("membership missing")
+	}
+
+	if code := getJSON(t, srv.URL+"/vertex/99", &got); code != http.StatusOK {
+		t.Fatalf("GET /vertex/99: %d", code)
+	}
+	if got.Present {
+		t.Fatal("vertex 99 reported present")
+	}
+
+	var e map[string]any
+	if code := getJSON(t, srv.URL+"/vertex/notanumber", &e); code != http.StatusBadRequest {
+		t.Fatalf("bad vertex id: %d", code)
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	s, srv := newHTTPService(t)
+	var post map[string]any
+	postJSON(t, srv.URL+"/edits?wait=1", `[{"op":"insert","u":0,"v":4}]`, &post)
+
+	var st Stats
+	if code := getJSON(t, srv.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	if st.Epoch != 1 || st.SubmittedEdits != 1 || st.Batches != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.QueueCapacity == 0 {
+		t.Fatal("queue capacity missing")
+	}
+
+	var h map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", code)
+	}
+	s.Close()
+	if code := getJSON(t, srv.URL+"/healthz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after close: %d", code)
+	}
+	var e map[string]any
+	if code := postJSON(t, srv.URL+"/edits", `[{"op":"insert","u":0,"v":9}]`, &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("POST after close: %d", code)
+	}
+}
+
+func TestHTTPRejectsMalformedEdits(t *testing.T) {
+	_, srv := newHTTPService(t)
+	var e map[string]any
+	if code := postJSON(t, srv.URL+"/edits", `[{"op":"upsert","u":1,"v":2}]`, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown op: %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/edits", `{"edits": 12}`, &e); code != http.StatusBadRequest {
+		t.Fatalf("malformed envelope: %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/edits", `not json`, &e); code != http.StatusBadRequest {
+		t.Fatalf("non-JSON body: %d", code)
+	}
+}

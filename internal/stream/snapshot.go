@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"sync"
+
+	"rslpa/internal/core"
+	"rslpa/internal/graph"
+	"rslpa/internal/postprocess"
+)
+
+// Snapshot is an immutable, epoch-versioned view of the detection state:
+// a frozen copy of the graph and the full label matrix taken atomically
+// between batches. Everything a query can ask — labels, communities,
+// membership — is answered from the frozen copies, so a snapshot stays
+// internally consistent no matter how far the live detector advances, and
+// readers on one snapshot share a single memoized extraction.
+type Snapshot struct {
+	epoch uint64
+	g     *graph.Graph
+	// labels[v] is a private copy of vertex v's label sequence; nil for
+	// absent vertex IDs.
+	labels [][]uint32
+	pcfg   postprocess.Config
+	last   core.UpdateStats // the batch that produced this epoch
+
+	once   sync.Once
+	res    *postprocess.Result
+	member map[uint32][]int
+	err    error
+}
+
+// newSnapshot freezes det's current state. It must only be called from the
+// maintenance goroutine (or before the service starts), between batches.
+func newSnapshot(epoch uint64, det Detector, pcfg postprocess.Config, last core.UpdateStats) *Snapshot {
+	g := det.Graph().Clone()
+	labels := make([][]uint32, g.MaxVertexID())
+	g.ForEachVertex(func(v uint32) {
+		labels[v] = append([]uint32(nil), det.Labels(v)...)
+	})
+	return &Snapshot{epoch: epoch, g: g, labels: labels, pcfg: pcfg, last: last}
+}
+
+// Epoch returns the number of batches applied before this snapshot was
+// taken. Epoch 0 is the state the service started from.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// NumVertices reports the snapshot graph's vertex count.
+func (sn *Snapshot) NumVertices() int { return sn.g.NumVertices() }
+
+// NumEdges reports the snapshot graph's edge count.
+func (sn *Snapshot) NumEdges() int { return sn.g.NumEdges() }
+
+// HasVertex reports whether v is present in the snapshot.
+func (sn *Snapshot) HasVertex(v uint32) bool { return sn.g.HasVertex(v) }
+
+// Degree returns v's degree in the snapshot (0 if absent).
+func (sn *Snapshot) Degree(v uint32) int { return sn.g.Degree(v) }
+
+// UpdateStats returns the detector work of the batch that produced this
+// epoch (zero for epoch 0).
+func (sn *Snapshot) UpdateStats() core.UpdateStats { return sn.last }
+
+// Labels returns v's frozen label sequence (length T+1), or nil for
+// absent vertices. The slice is owned by the snapshot; do not mutate it.
+func (sn *Snapshot) Labels(v uint32) []uint32 {
+	if int(v) >= len(sn.labels) || !sn.g.HasVertex(v) {
+		return nil
+	}
+	return sn.labels[v]
+}
+
+// Communities extracts the snapshot's overlapping communities. The first
+// caller pays for extraction; every later call on the same snapshot —
+// including Membership — returns the memoized result. Extraction runs on
+// the frozen copies, entirely on the reader side: it never blocks the
+// maintenance goroutine and, for a distributed detector, never touches the
+// cluster engine (the sequential extraction is bit-identical to the
+// distributed one by the postprocessing equivalence tests).
+func (sn *Snapshot) Communities() (*postprocess.Result, error) {
+	sn.extract()
+	return sn.res, sn.err
+}
+
+// Membership returns the indices (into Communities().Cover) of the
+// communities containing v; nil for uncovered or absent vertices.
+func (sn *Snapshot) Membership(v uint32) ([]int, error) {
+	sn.extract()
+	if sn.err != nil {
+		return nil, sn.err
+	}
+	return sn.member[v], nil
+}
+
+func (sn *Snapshot) extract() {
+	sn.once.Do(func() {
+		sn.res, sn.err = postprocess.Extract(sn.g, sn.Labels, sn.pcfg)
+		if sn.err == nil {
+			sn.member = sn.res.Cover.Membership()
+		}
+	})
+}

@@ -1,0 +1,484 @@
+// Package stream runs an incremental community detector as an always-on
+// service: the shape the paper's motivating scenario (a social network
+// whose graph changes continuously under live query traffic) actually
+// needs, and the missing layer between the blocking Detector call-chain
+// and a deployed system.
+//
+// Three roles meet in a Service:
+//
+//   - Producers call Submit from any number of goroutines. Edits flow
+//     through a bounded queue; when it is full Submit blocks, which is the
+//     backpressure signal.
+//   - A single maintenance goroutine drains the queue, coalesces edits
+//     into canonical batches (graph.Coalescer: orient, dedupe, cancel
+//     insert+delete pairs) and applies them through the detector's
+//     incremental Update when the pending batch reaches Options.MaxBatch
+//     net edits or Options.FlushInterval elapses. Because only this
+//     goroutine ever touches the detector, any single-goroutine Detector
+//     implementation works unchanged — sequential, in-process parallel,
+//     or distributed.
+//   - Readers call Snapshot (or the HTTP handler's GET endpoints) and are
+//     served lock-free from an immutable, epoch-versioned snapshot that
+//     the maintenance goroutine swaps in atomically after every applied
+//     batch. Readers never block the writer, never see a partially
+//     applied batch, and a held snapshot stays consistent forever.
+//
+// The service optionally checkpoints the detector every few batches
+// through its Save method (atomic tmp+rename), so a restarted process can
+// resume maintenance bit-identically via the library's LoadDetector path.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rslpa/internal/core"
+	"rslpa/internal/graph"
+	"rslpa/internal/postprocess"
+)
+
+// Detector is the maintenance interface the service drives. It is
+// satisfied by the library's *rslpa.Detector in every execution mode; any
+// detector that is safe for single-goroutine use works.
+type Detector interface {
+	// Update applies a batch of edge edits and incrementally repairs the
+	// detection state.
+	Update(batch []graph.Edit) (core.UpdateStats, error)
+	// Labels returns a vertex's label sequence (nil for absent vertices).
+	Labels(v uint32) []uint32
+	// Graph returns the detector's current graph (read-only).
+	Graph() *graph.Graph
+	// Save checkpoints the detector state.
+	Save(w io.Writer) error
+}
+
+// Options configures a Service. The zero value selects the defaults.
+type Options struct {
+	// QueueCapacity bounds the ingest queue, in edits; Submit blocks while
+	// it is full (backpressure). Default 4096.
+	QueueCapacity int
+	// MaxBatch flushes the pending batch once it holds this many net
+	// edits. Default 512.
+	MaxBatch int
+	// FlushInterval flushes partial batches at least this often.
+	// Default 100ms.
+	FlushInterval time.Duration
+	// Extraction configures snapshot community extraction (thresholds,
+	// metric); the zero value selects them automatically.
+	Extraction postprocess.Config
+	// CheckpointPath, when non-empty, makes the service checkpoint the
+	// detector to this file — written atomically via a temporary file and
+	// rename — every CheckpointEvery batches and once more on Close.
+	CheckpointPath string
+	// CheckpointEvery is the number of applied batches between
+	// checkpoints. Default 16 (when CheckpointPath is set).
+	CheckpointEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 4096
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 512
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 100 * time.Millisecond
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 16
+	}
+	return o
+}
+
+// ErrClosed is returned by Submit, Drain, and the HTTP handler after the
+// service has been closed.
+var ErrClosed = errors.New("stream: service is closed")
+
+// Stats is a point-in-time reading of the service's operational counters,
+// the yardstick the ROADMAP uses for update-path optimizations.
+type Stats struct {
+	Epoch         uint64 `json:"epoch"`          // batches applied so far
+	Vertices      int    `json:"vertices"`       // current snapshot's graph
+	Edges         int    `json:"edges"`          //
+	QueueDepth    int    `json:"queue_depth"`    // edits waiting in the ingest queue
+	QueueCapacity int    `json:"queue_capacity"` //
+
+	SubmittedEdits uint64 `json:"submitted_edits"` // accepted by Submit
+	AppliedEdits   uint64 `json:"applied_edits"`   // survived coalescing, reached Update
+	CoalescedEdits uint64 `json:"coalesced_edits"` // absorbed by canonicalization
+	Batches        uint64 `json:"batches"`         // Update calls
+	Checkpoints    uint64 `json:"checkpoints"`     // checkpoint files written
+	Queries        uint64 `json:"queries"`         // Snapshot loads
+
+	LastBatchEdits    int   `json:"last_batch_edits"`
+	LastUpdateMicros  int64 `json:"last_update_micros"`
+	TotalUpdateMicros int64 `json:"total_update_micros"`
+
+	// Cumulative detector work across all batches (core.UpdateStats).
+	Inserted uint64 `json:"inserted"`
+	Deleted  uint64 `json:"deleted"`
+	Repicked uint64 `json:"repicked"`
+	Touched  uint64 `json:"touched"`
+	Changed  uint64 `json:"changed"`
+
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Service is a running detection service. Create one with New; always
+// Close it.
+type Service struct {
+	det  Detector
+	opts Options
+
+	in   chan graph.Edit
+	ctl  chan chan error // Drain requests
+	quit chan struct{}   // closed by Close
+	done chan struct{}   // closed when the maintenance goroutine exits
+
+	closeOnce sync.Once
+	closeErr  error
+
+	snap atomic.Pointer[Snapshot]
+
+	// Hot-path counters, touched by producer/reader goroutines.
+	submitted atomic.Uint64
+	queries   atomic.Uint64
+	coalesced atomic.Uint64
+
+	// sendMu makes Submit-versus-Close deterministic: Submit enqueues
+	// under the read lock, Close flips closed under the write lock before
+	// the maintenance goroutine's final drain — so an edit a nil-returning
+	// Submit accepted is always applied, never stranded in the queue.
+	sendMu sync.RWMutex
+	closed bool
+
+	// Remaining counters are written only by the maintenance goroutine,
+	// under mu so Stats can read a consistent set.
+	mu      sync.Mutex
+	st      Stats
+	lastErr error // detector failure (latching)
+	ckptErr error // most recent checkpoint failure (cleared by success)
+	failed  bool  // a detector Update failed; the service stops applying
+}
+
+// New starts a service over det. The detector must not be used by the
+// caller while the service is running — the service owns its mutation and
+// its reads (queries go through snapshots instead).
+func New(det Detector, opts Options) (*Service, error) {
+	if det == nil {
+		return nil, fmt.Errorf("stream: nil detector")
+	}
+	opts = opts.withDefaults()
+	s := &Service{
+		det:  det,
+		opts: opts,
+		in:   make(chan graph.Edit, opts.QueueCapacity),
+		ctl:  make(chan chan error),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	// Epoch 0: the detector's state as handed in, so queries are served
+	// from the first instant.
+	s.snap.Store(newSnapshot(0, det, opts.Extraction, core.UpdateStats{}))
+	go s.loop()
+	return s, nil
+}
+
+// Submit enqueues edits for application. It blocks while the ingest queue
+// is full (backpressure) and returns ErrClosed — wrapped with how many of
+// the edits were accepted — once the service is closed. After a detector
+// failure the service latches: Submit still accepts, but batches are no
+// longer applied and Drain reports the failure.
+func (s *Service) Submit(edits ...graph.Edit) error {
+	for i, e := range edits {
+		s.sendMu.RLock()
+		if s.closed {
+			s.sendMu.RUnlock()
+			return fmt.Errorf("%w (%d of %d edits accepted)", ErrClosed, i, len(edits))
+		}
+		// The send may block on a full queue (backpressure). Holding the
+		// read lock here is safe: Close cannot take the write lock — and
+		// therefore cannot stop the maintenance loop that is draining
+		// this queue — until the send completes.
+		s.in <- e
+		s.submitted.Add(1)
+		s.sendMu.RUnlock()
+	}
+	return nil
+}
+
+// Snapshot returns the current immutable snapshot. The caller may hold it
+// for any length of time; it never changes and never blocks maintenance.
+func (s *Service) Snapshot() *Snapshot {
+	s.queries.Add(1)
+	return s.snap.Load()
+}
+
+// Drain flushes every edit enqueued before the call and returns once the
+// resulting batch has been applied and published (read-your-writes for a
+// producer that has stopped submitting). It returns the flush error, or
+// ErrClosed if the service is closed before the drain completes.
+func (s *Service) Drain() error {
+	reply := make(chan error, 1)
+	select {
+	case s.ctl <- reply:
+	case <-s.done:
+		return s.drainErr()
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-s.done:
+		return s.drainErr()
+	}
+}
+
+func (s *Service) drainErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastErr != nil {
+		return s.lastErr
+	}
+	if s.ckptErr != nil {
+		return s.ckptErr
+	}
+	return ErrClosed
+}
+
+// failureErr returns the latched detector failure, if any.
+func (s *Service) failureErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return s.lastErr
+	}
+	return nil
+}
+
+// Stats returns the service's operational counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := s.st
+	lastErr := s.lastErr
+	if lastErr == nil {
+		lastErr = s.ckptErr
+	}
+	s.mu.Unlock()
+	st.SubmittedEdits = s.submitted.Load()
+	st.CoalescedEdits = s.coalesced.Load()
+	st.Queries = s.queries.Load()
+	st.QueueDepth = len(s.in)
+	st.QueueCapacity = s.opts.QueueCapacity
+	snap := s.snap.Load()
+	st.Epoch = snap.Epoch()
+	st.Vertices = snap.NumVertices()
+	st.Edges = snap.NumEdges()
+	if lastErr != nil {
+		st.LastError = lastErr.Error()
+	}
+	return st
+}
+
+// Close drains the queue, applies the final batch, writes a final
+// checkpoint (when configured), and stops the maintenance goroutine. It is
+// idempotent and safe to call concurrently; every call returns the same
+// error. Queries keep working after Close — the last snapshot remains
+// served — but Submit and Drain fail.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		// Flip closed before signalling the loop: once the write lock is
+		// held, every in-flight Submit has finished its enqueue and every
+		// later Submit fails fast, so the loop's final drain sees the
+		// complete accepted stream.
+		s.sendMu.Lock()
+		s.closed = true
+		s.sendMu.Unlock()
+		close(s.quit)
+		<-s.done
+		s.mu.Lock()
+		s.closeErr = s.lastErr
+		if s.closeErr == nil {
+			s.closeErr = s.ckptErr
+		}
+		s.mu.Unlock()
+	})
+	return s.closeErr
+}
+
+// loop is the maintenance goroutine: the only code that touches the
+// detector after New returns.
+func (s *Service) loop() {
+	defer close(s.done)
+	co := graph.NewCoalescer(s.det.Graph())
+	tick := time.NewTicker(s.opts.FlushInterval)
+	defer tick.Stop()
+	sinceCkpt := 0
+	for {
+		select {
+		case e := <-s.in:
+			s.ingest(co, e)
+			if co.Len() >= s.opts.MaxBatch {
+				s.flush(co, &sinceCkpt)
+			}
+		case <-tick.C:
+			s.flush(co, &sinceCkpt)
+		case reply := <-s.ctl:
+			err := s.drainQueue(co, &sinceCkpt)
+			if ferr := s.flush(co, &sinceCkpt); err == nil {
+				err = ferr
+			}
+			reply <- err
+		case <-s.quit:
+			s.drainQueue(co, &sinceCkpt)
+			s.flush(co, &sinceCkpt)
+			if s.opts.CheckpointPath != "" && !s.isFailed() {
+				s.writeCheckpoint()
+			}
+			return
+		}
+	}
+}
+
+// ingest folds one edit into the pending batch, metering how many
+// submitted edits canonicalization absorbs (a cancellation absorbs both
+// the pending edit and this one).
+func (s *Service) ingest(co *graph.Coalescer, e graph.Edit) {
+	switch co.Add(e) {
+	case 0:
+		s.coalesced.Add(1)
+	case -1:
+		s.coalesced.Add(2)
+	}
+}
+
+// drainQueue moves everything currently buffered in the ingest queue into
+// the coalescer without blocking, and returns the first flush error it
+// hits. MaxBatch stays an invariant here too — a drain of a deep queue
+// applies several MaxBatch-sized batches rather than one giant one, so
+// batch boundaries do not depend on whether edits were ingested one by
+// one or found buffered.
+func (s *Service) drainQueue(co *graph.Coalescer, sinceCkpt *int) error {
+	var first error
+	for {
+		select {
+		case e := <-s.in:
+			s.ingest(co, e)
+			if co.Len() >= s.opts.MaxBatch {
+				if err := s.flush(co, sinceCkpt); err != nil && first == nil {
+					first = err
+				}
+			}
+		default:
+			return first
+		}
+	}
+}
+
+func (s *Service) isFailed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// flush applies the pending canonical batch (if any) through the detector,
+// builds the next snapshot, and publishes it. After a detector failure the
+// service latches: the stale-but-consistent snapshot keeps serving, and
+// further flushes are dropped.
+func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
+	if err := s.failureErr(); err != nil {
+		co.Flush() // discard: a latched detector will never apply them
+		return err
+	}
+	batch := co.Flush()
+	if len(batch) == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	stats, err := s.det.Update(batch)
+	if err != nil {
+		s.mu.Lock()
+		s.failed = true
+		s.lastErr = fmt.Errorf("stream: detector update failed: %w", err)
+		err = s.lastErr
+		s.mu.Unlock()
+		return err
+	}
+	dur := time.Since(t0)
+
+	next := newSnapshot(s.snap.Load().Epoch()+1, s.det, s.opts.Extraction, stats)
+	s.snap.Store(next)
+
+	s.mu.Lock()
+	s.st.AppliedEdits += uint64(len(batch))
+	s.st.Batches++
+	s.st.LastBatchEdits = len(batch)
+	s.st.LastUpdateMicros = dur.Microseconds()
+	s.st.TotalUpdateMicros += dur.Microseconds()
+	s.st.Inserted += uint64(stats.Inserted)
+	s.st.Deleted += uint64(stats.Deleted)
+	s.st.Repicked += uint64(stats.Repicked)
+	s.st.Touched += uint64(stats.Touched)
+	s.st.Changed += uint64(stats.Changed)
+	s.mu.Unlock()
+
+	if s.opts.CheckpointPath != "" {
+		if *sinceCkpt++; *sinceCkpt >= s.opts.CheckpointEvery {
+			*sinceCkpt = 0
+			if err := s.writeCheckpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint saves the detector to CheckpointPath atomically: the
+// state is written to a temporary file in the same directory (so the
+// rename never crosses filesystems) and renamed over the target — a crash
+// mid-write never corrupts the previous checkpoint.
+func (s *Service) writeCheckpoint() error {
+	dir, base := filepath.Split(s.opts.CheckpointPath)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return s.checkpointErr(err)
+	}
+	if err := s.det.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return s.checkpointErr(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return s.checkpointErr(err)
+	}
+	if err := os.Rename(tmp.Name(), s.opts.CheckpointPath); err != nil {
+		os.Remove(tmp.Name())
+		return s.checkpointErr(err)
+	}
+	s.mu.Lock()
+	s.st.Checkpoints++
+	s.ckptErr = nil // a good checkpoint supersedes an earlier transient failure
+	s.mu.Unlock()
+	return nil
+}
+
+// checkpointErr records a checkpoint failure without latching the service:
+// detection state is still healthy, only durability suffered. The next
+// successful checkpoint clears it.
+func (s *Service) checkpointErr(err error) error {
+	err = fmt.Errorf("stream: checkpoint: %w", err)
+	s.mu.Lock()
+	s.ckptErr = err
+	s.mu.Unlock()
+	return err
+}

@@ -30,6 +30,7 @@ package rslpa
 
 import (
 	"io"
+	"sync"
 
 	"rslpa/internal/cluster"
 	"rslpa/internal/core"
@@ -135,6 +136,9 @@ type Detector struct {
 	seq *core.State
 	eng *cluster.Engine
 	dst *dist.RSLPA
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Detect runs rSLPA label propagation (Algorithm 1) on g and returns a
@@ -175,11 +179,37 @@ func Detect(g *Graph, cfg Config) (*Detector, error) {
 // Update applies a batch of edge edits and incrementally repairs the
 // detection state (Correction Propagation, Algorithm 2). The resulting
 // state is distributed exactly as a fresh detection on the updated graph.
+//
+// The batch is canonicalized first (graph.Canonicalize): self-loops and
+// no-op edits are dropped, repeated or mutually cancelling edits of the
+// same edge are coalesced, and the surviving edits are applied in a fixed
+// edge-key order. The applied update is therefore a pure function of the
+// batch's net effect — the same semantics the streaming Service gives
+// coalesced producer traffic — so two callers whose batches have equal net
+// effects drive the detector to bit-identical states. UpdateStats counts
+// the canonical batch (absorbed edits are not counted).
 func (d *Detector) Update(batch []Edit) (UpdateStats, error) {
+	return d.applyCanonical(graph.Canonicalize(d.Graph(), batch))
+}
+
+// applyCanonical dispatches an already-canonical batch to the underlying
+// engine. The streaming Service calls it directly: its coalescer emits
+// canonical batches, so re-canonicalizing would be a no-op.
+func (d *Detector) applyCanonical(batch []Edit) (UpdateStats, error) {
 	if d.seq != nil {
 		return d.seq.Update(batch), nil
 	}
 	return d.dst.Update(batch)
+}
+
+// Graph returns the detector's current graph. The graph is owned by the
+// detector: callers must not mutate it (apply changes through Update) and
+// must not read it concurrently with Update.
+func (d *Detector) Graph() *Graph {
+	if d.seq != nil {
+		return d.seq.Graph()
+	}
+	return d.dst.Graph()
 }
 
 // Communities extracts the current overlapping communities (Section III-B
@@ -218,12 +248,18 @@ func (d *Detector) Labels(v uint32) []uint32 {
 }
 
 // Close releases the cluster resources of a distributed detector. It is a
-// no-op for sequential detectors.
+// no-op for sequential detectors. Close is idempotent and safe to call
+// from multiple goroutines — every call returns the error of the one
+// release that actually ran — and it may race with in-flight Labels
+// queries (which never touch the cluster transport). It must not race
+// with Update or Communities on a distributed detector.
 func (d *Detector) Close() error {
-	if d.eng != nil {
-		return d.eng.Close()
-	}
-	return nil
+	d.closeOnce.Do(func() {
+		if d.eng != nil {
+			d.closeErr = d.eng.Close()
+		}
+	})
+	return d.closeErr
 }
 
 // SLPAConfig configures the SLPA baseline.

@@ -1,0 +1,563 @@
+package rslpa_test
+
+import (
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rslpa"
+	"rslpa/internal/dynamic"
+)
+
+// labelHash folds the full label matrix (and the edge count) of a state
+// into one word; two states hash equal iff their detection state is
+// bit-identical over the dense ID range [0, maxID).
+func labelHash(maxID uint32, edges int, labels func(uint32) []uint32) uint64 {
+	h := fnv.New64a()
+	word := func(x uint32) {
+		h.Write([]byte{byte(x), byte(x >> 8), byte(x >> 16), byte(x >> 24)})
+	}
+	word(uint32(edges))
+	for v := uint32(0); v < maxID; v++ {
+		seq := labels(v)
+		word(uint32(len(seq)))
+		for _, l := range seq {
+			word(l)
+		}
+	}
+	return h.Sum64()
+}
+
+func requireSameLabels(t *testing.T, maxID uint32, a, b func(uint32) []uint32) {
+	t.Helper()
+	for v := uint32(0); v < maxID; v++ {
+		la, lb := a(v), b(v)
+		if len(la) != len(lb) {
+			t.Fatalf("vertex %d: label lengths %d vs %d", v, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("vertex %d label %d: %d vs %d", v, i, la[i], lb[i])
+			}
+		}
+	}
+}
+
+// serviceGraph is a 200-vertex LFR graph — big enough for interesting
+// batches, small enough to keep -race runs fast.
+func serviceGraph(t testing.TB) *rslpa.Graph {
+	t.Helper()
+	params := rslpa.DefaultLFR(200)
+	params.AvgDeg, params.MaxDeg = 8, 24
+	g, _, err := rslpa.GenerateLFR(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The acceptance pin: ≥4 concurrent producers racing edits into the
+// service and ≥4 concurrent readers querying it must, after drain, leave
+// the detector bit-identical to a serial caller pushing the same edits
+// through Detector.Update — regardless of producer interleaving, because
+// coalescing canonicalizes the net batch.
+func TestServiceMatchesSerialUpdate(t *testing.T) {
+	g := serviceGraph(t)
+	cfg := rslpa.Config{T: 40, Seed: 9}
+	maxID := uint32(g.MaxVertexID())
+
+	edits, err := dynamic.Batch(g, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One coalesced batch: flush only at Drain.
+	svc, err := rslpa.NewService(det, rslpa.ServiceOptions{MaxBatch: 1 << 20, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	const producers, readers = 4, 4
+	var rwg, pwg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r uint32) {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := svc.Snapshot()
+				if e := sn.Epoch(); e != 0 && e != 1 {
+					t.Errorf("impossible epoch %d", e)
+					return
+				}
+				// A snapshot is always complete: every present vertex
+				// has a full label sequence and extraction succeeds.
+				if seq := sn.Labels(r % maxID); sn.HasVertex(r%maxID) && len(seq) != cfg.T+1 {
+					t.Errorf("partial label read: %d labels", len(seq))
+					return
+				}
+				if _, err := sn.Membership(r % maxID); err != nil {
+					t.Errorf("membership: %v", err)
+					return
+				}
+			}
+		}(uint32(r))
+	}
+	per := len(edits) / producers
+	for p := 0; p < producers; p++ {
+		lo, hi := p*per, (p+1)*per
+		if p == producers-1 {
+			hi = len(edits)
+		}
+		pwg.Add(1)
+		go func(chunk []rslpa.Edit) {
+			defer pwg.Done()
+			// Edits trickle in one at a time to maximize interleaving.
+			for _, e := range chunk {
+				if err := svc.Submit(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(edits[lo:hi])
+	}
+	// Wait for the producers only, then drain; readers keep querying
+	// through the flush itself.
+	pwg.Wait()
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	rwg.Wait()
+
+	sn := svc.Snapshot()
+	if sn.Epoch() != 1 {
+		t.Fatalf("epoch after drain = %d, want 1 (single coalesced batch)", sn.Epoch())
+	}
+
+	// Serial twin: same edits, one Update call, any order.
+	serial, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	if _, err := serial.Update(edits); err != nil {
+		t.Fatal(err)
+	}
+	requireSameLabels(t, maxID, sn.Labels, serial.Labels)
+
+	got, err := sn.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Communities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tau1 != want.Tau1 || got.Tau2 != want.Tau2 {
+		t.Fatalf("thresholds: service (%v,%v) serial (%v,%v)", got.Tau1, got.Tau2, want.Tau1, want.Tau2)
+	}
+	a, b := got.Communities.Canonical(), want.Communities.Canonical()
+	if len(a) != len(b) {
+		t.Fatalf("community counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("community %d sizes differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("community %d member %d: %d vs %d", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// With deterministic batch boundaries (one producer, MaxBatch = the
+// generator's batch size) the service applies exactly the serial caller's
+// batches — and every snapshot a concurrent reader ever observes matches
+// the serial detector at that epoch bit for bit: epochs are complete, or
+// not published at all.
+func TestServiceSnapshotsMatchSerialEpochs(t *testing.T) {
+	g := serviceGraph(t)
+	cfg := rslpa.Config{T: 30, Seed: 5}
+	maxID := uint32(g.MaxVertexID())
+	const batchSize, batchCount = 50, 6
+
+	evolving := g.Clone()
+	batches, err := dynamic.Stream(evolving, batchSize, batchCount, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial twin first: hash the state at every epoch.
+	serial, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	wantHash := map[uint64]uint64{0: labelHash(maxID, serial.Graph().NumEdges(), serial.Labels)}
+	for e, batch := range batches {
+		if _, err := serial.Update(batch); err != nil {
+			t.Fatal(err)
+		}
+		wantHash[uint64(e+1)] = labelHash(maxID, serial.Graph().NumEdges(), serial.Labels)
+	}
+
+	det, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := rslpa.NewService(det, rslpa.ServiceOptions{MaxBatch: batchSize, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	type obs struct {
+		epoch uint64
+		hash  uint64
+	}
+	const readers = 4
+	observed := make([][]obs, readers)
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			var seen []obs
+			last := uint64(1<<64 - 1)
+			// Hash every distinct epoch the first time it appears;
+			// re-hashing an already-verified epoch adds nothing.
+			observe := func() {
+				sn := svc.Snapshot()
+				if e := sn.Epoch(); e != last {
+					last = e
+					seen = append(seen, obs{e, labelHash(maxID, sn.NumEdges(), sn.Labels)})
+				}
+			}
+			observe() // at least one observation even if the stream outruns us
+			for {
+				select {
+				case <-stop:
+					observed[r] = seen
+					return
+				default:
+				}
+				observe()
+			}
+		}(r)
+	}
+
+	for _, batch := range batches {
+		for _, e := range batch {
+			if err := svc.Submit(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	rwg.Wait()
+
+	sn := svc.Snapshot()
+	if sn.Epoch() != batchCount {
+		t.Fatalf("final epoch %d, want %d", sn.Epoch(), batchCount)
+	}
+	requireSameLabels(t, maxID, sn.Labels, serial.Labels)
+
+	total := 0
+	for r, seen := range observed {
+		total += len(seen)
+		for _, o := range seen {
+			want, ok := wantHash[o.epoch]
+			if !ok {
+				t.Fatalf("reader %d saw epoch %d, beyond the %d applied batches", r, o.epoch, batchCount)
+			}
+			if o.hash != want {
+				t.Fatalf("reader %d: snapshot at epoch %d does not match the serial detector at that epoch (torn or partial state)", r, o.epoch)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("readers observed nothing")
+	}
+}
+
+// Snapshot isolation under the distributed engine: readers hammer
+// snapshots (labels, membership, extraction) while the BSP engine applies
+// update batches concurrently. The race detector pins that queries never
+// share memory with in-flight shard mutation; the assertions pin that
+// every observed snapshot is complete.
+func TestServiceDistributedSnapshotIsolation(t *testing.T) {
+	g := serviceGraph(t)
+	cfg := rslpa.Config{T: 25, Seed: 13, Workers: 3}
+	maxID := uint32(g.MaxVertexID())
+
+	evolving := g.Clone()
+	batches, err := dynamic.Stream(evolving, 40, 6, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := rslpa.NewService(det, rslpa.ServiceOptions{MaxBatch: 16, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	const producers, readers = 4, 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r uint32) {
+			defer wg.Done()
+			v := r
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := svc.Snapshot()
+				if sn.HasVertex(v % maxID) {
+					if seq := sn.Labels(v % maxID); len(seq) != cfg.T+1 {
+						t.Errorf("vertex %d: %d labels, want %d", v%maxID, len(seq), cfg.T+1)
+						return
+					}
+				}
+				if v%5 == 0 {
+					res, err := sn.Communities()
+					if err != nil {
+						t.Errorf("extraction at epoch %d: %v", sn.Epoch(), err)
+						return
+					}
+					if res.Communities.Len() == 0 {
+						t.Errorf("empty cover at epoch %d", sn.Epoch())
+						return
+					}
+				}
+				v += 11
+			}
+		}(uint32(r))
+	}
+
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := p; i < len(batches); i += producers {
+				for _, e := range batches[i] {
+					if err := svc.Submit(e); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// After drain (no updates in flight) the snapshot agrees with the
+	// distributed detector's own Labels accessor.
+	sn := svc.Snapshot()
+	if sn.Epoch() == 0 {
+		t.Fatal("no batches applied")
+	}
+	requireSameLabels(t, maxID, sn.Labels, det.Labels)
+}
+
+// A service restarted from its checkpoint resumes maintenance
+// bit-identically to a detector that never stopped.
+func TestServiceCheckpointResume(t *testing.T) {
+	g := serviceGraph(t)
+	cfg := rslpa.Config{T: 30, Seed: 21}
+	maxID := uint32(g.MaxVertexID())
+	ckpt := filepath.Join(t.TempDir(), "service.ckpt")
+
+	evolving := g.Clone()
+	batches, err := dynamic.Stream(evolving, 40, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := rslpa.NewService(det, rslpa.ServiceOptions{
+		MaxBatch: 1 << 20, FlushInterval: time.Hour,
+		CheckpointPath: ckpt, CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range batches[:2] {
+		if err := svc.Submit(batch...); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// Restart: load the checkpoint, serve again, apply the third batch.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := rslpa.LoadDetector(f, rslpa.Config{})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := rslpa.NewService(restored, rslpa.ServiceOptions{MaxBatch: 1 << 20, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if err := svc2.Submit(batches[2]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Twin that never restarted.
+	twin, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	for _, batch := range batches {
+		if _, err := twin.Update(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireSameLabels(t, maxID, svc2.Snapshot().Labels, twin.Labels)
+}
+
+// Regression for the service-shutdown path: Detector.Close is idempotent
+// and safe to call from many goroutines, racing in-flight Labels queries.
+func TestDetectorCloseIdempotentConcurrent(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		det, err := rslpa.Detect(twoBlocks(), rslpa.Config{T: 10, Seed: 2, Workers: 2, TCP: tcp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 8)
+		for i := range errs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = det.Close()
+			}(i)
+		}
+		for v := uint32(0); v < 4; v++ {
+			wg.Add(1)
+			go func(v uint32) {
+				defer wg.Done()
+				det.Labels(v) // must not race Close
+			}(v)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != errs[0] {
+				t.Fatalf("tcp=%v: Close %d returned %v, Close 0 returned %v", tcp, i, err, errs[0])
+			}
+		}
+		if err := det.Close(); err != errs[0] {
+			t.Fatalf("tcp=%v: late Close returned %v", tcp, err)
+		}
+	}
+	// Sequential detectors: trivially idempotent.
+	det, err := rslpa.Detect(twoBlocks(), rslpa.Config{T: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Close() != nil || det.Close() != nil {
+		t.Fatal("sequential Close not idempotent")
+	}
+}
+
+// Detector.Update shares the service's canonical-batch semantics.
+func TestUpdateCanonicalizesBatches(t *testing.T) {
+	det, err := rslpa.Detect(twoBlocks(), rslpa.Config{T: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	stats, err := det.Update([]rslpa.Edit{
+		{Op: rslpa.Insert, U: 5, V: 105},
+		{Op: rslpa.Insert, U: 105, V: 5}, // duplicate, reversed
+		{Op: rslpa.Delete, U: 7, V: 42},  // absent → no-op
+		{Op: rslpa.Insert, U: 3, V: 3},   // self-loop
+		{Op: rslpa.Insert, U: 6, V: 106}, // cancelled below
+		{Op: rslpa.Delete, U: 6, V: 106},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 1 || stats.Deleted != 0 {
+		t.Fatalf("canonical stats: %+v", stats)
+	}
+
+	// Permuting a batch does not change the resulting state.
+	a, err := rslpa.Detect(twoBlocks(), rslpa.Config{T: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := rslpa.Detect(twoBlocks(), rslpa.Config{T: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	batch := []rslpa.Edit{
+		{Op: rslpa.Insert, U: 1, V: 101},
+		{Op: rslpa.Delete, U: 0, V: 100},
+		{Op: rslpa.Insert, U: 2, V: 102},
+	}
+	perm := []rslpa.Edit{batch[2], batch[0], batch[1]}
+	if _, err := a.Update(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Update(perm); err != nil {
+		t.Fatal(err)
+	}
+	requireSameLabels(t, 110, a.Labels, b.Labels)
+}
