@@ -10,6 +10,7 @@ package rslpa_test
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -408,6 +409,56 @@ func BenchmarkWebGraphGenerate(b *testing.B) {
 		p.Seed = uint64(i + 1)
 		if _, err := webgraph.Generate(p); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdate sweeps batch size × T for the distributed incremental
+// Update at P=4 on the web fixture, reporting the sparse correction
+// schedule's actual supersteps (rounds-run) against the fixed three-
+// rounds-per-level schedule's budget (rounds-dense = 1+3T, what every
+// Update paid before idle-level skipping): small batches dirty few levels
+// and collapse most of the budget, large batches converge to dense but
+// never exceed it. The CI bench-smoke job archives these counters as
+// BENCH_update.json, so the rounds-per-Update trend is tracked per PR.
+func BenchmarkUpdate(b *testing.B) {
+	fixtures(b)
+	for _, T := range []int{50, 200} {
+		for _, batchSize := range []int{2, 100} {
+			b.Run(fmt.Sprintf("T=%d/batch=%d", T, batchSize), func(b *testing.B) {
+				eng, err := cluster.New(cluster.Config{Workers: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				d, err := dist.NewRSLPA(eng, fixWeb, core.Config{T: T, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := d.Propagate(); err != nil {
+					b.Fatal(err)
+				}
+				dense := 1 + 3*T
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					batch, err := dynamic.Batch(d.Graph(), batchSize, uint64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					stats, err := d.Update(batch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(stats.RoundsRun), "rounds-run")
+					b.ReportMetric(float64(stats.LevelsSkipped), "levels-skipped")
+					b.ReportMetric(float64(dense), "rounds-dense")
+					if stats.RoundsRun > 0 {
+						b.ReportMetric(float64(dense)/float64(stats.RoundsRun), "reduction-x")
+					}
+				}
+			})
 		}
 	}
 }

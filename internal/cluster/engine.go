@@ -39,6 +39,13 @@ type Emitter func(to int, m Message)
 // whether it wants another round even without incoming messages.
 type StepFunc func(worker, round int, inbox []Message, emit Emitter) (active bool, err error)
 
+// RoundStat is the wire traffic one superstep of the most recent
+// Run/RunRounds call moved into its successor round.
+type RoundStat struct {
+	Messages int64
+	Bytes    int64
+}
+
 // Engine executes BSP supersteps over P workers. Create with New, run any
 // number of phases with Run or RunRounds, inspect Stats, then Close.
 type Engine struct {
@@ -46,6 +53,7 @@ type Engine struct {
 	part      Partitioner
 	transport Transport
 	stats     Stats
+	trace     []RoundStat
 }
 
 // New creates an engine with cfg.Workers partitions and the selected
@@ -79,6 +87,13 @@ func (e *Engine) Owner(v uint32) int { return e.part.Owner(v) }
 // Stats returns the accumulated communication statistics.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// LastTrace returns the per-round wire stats of the most recent Run or
+// RunRounds call (index = round number). A run's final round always shows
+// zero traffic: its emissions were discarded (fixed-length RunRounds) or
+// absent (quiescent termination). The slice is reused by the next run; copy
+// it to keep it.
+func (e *Engine) LastTrace() []RoundStat { return e.trace }
+
 // Close releases the transport.
 func (e *Engine) Close() error { return e.transport.Close() }
 
@@ -102,6 +117,7 @@ func (e *Engine) run(step StepFunc, maxRounds int) (int, error) {
 	p := e.cfg.Workers
 	inboxes := make([][]Message, p)
 	round := 0
+	e.trace = e.trace[:0]
 	for {
 		if maxRounds >= 0 && round >= maxRounds {
 			return round, nil
@@ -148,6 +164,7 @@ func (e *Engine) run(step StepFunc, maxRounds int) (int, error) {
 		// A final RunRounds round has no successor to deliver into: its
 		// emissions are discarded before the transport and charged nothing.
 		if maxRounds >= 0 && round >= maxRounds {
+			e.trace = append(e.trace, RoundStat{})
 			return round, nil
 		}
 
@@ -162,6 +179,7 @@ func (e *Engine) run(step StepFunc, maxRounds int) (int, error) {
 		}
 		e.stats.Messages += sent
 		e.stats.Bytes += bytes
+		e.trace = append(e.trace, RoundStat{Messages: sent, Bytes: bytes})
 
 		anyActive := false
 		for _, a := range active {

@@ -35,7 +35,7 @@ func fuzzSeedBlobs(f *testing.F) [][]byte {
 	third := len(all) / 3
 	blobs := [][]byte{
 		EncodeShard(c.T, all[:third]),
-		EncodeShard(c.T, all[third : 2*third]),
+		EncodeShard(c.T, all[third:2*third]),
 		EncodeShard(c.T, all[2*third:]),
 	}
 	if err := WriteCheckpoint(&sharded, c.CheckpointMeta, blobs); err != nil {

@@ -16,6 +16,19 @@ type UpdateStats struct {
 	Repicked int // picks re-drawn or switched (Categories 2 and 3)
 	Touched  int // label slots visited by correction propagation (η)
 	Changed  int // label values that actually changed
+
+	// LevelsSkipped counts correction levels in 1..T that held no dirty
+	// slots and were therefore collapsed to zero work by the sparse
+	// schedule. The set of non-idle levels is a pure function of the batch,
+	// so the count is identical across execution modes and worker counts.
+	LevelsSkipped int
+	// RoundsRun is the cost of correction propagation under the engine's
+	// own schedule: the sequential State counts one pass per non-idle level
+	// (the fully-fused lower bound every distributed run approaches), while
+	// the distributed driver counts the BSP supersteps it actually executed
+	// (the apply/repick round plus one to three rounds per non-idle level).
+	// A batch that dirties nothing reports zero for both counters.
+	RoundsRun int
 }
 
 // Update applies a batch of edge edits to the State's graph and runs
@@ -93,7 +106,12 @@ func (s *State) Update(batch []graph.Edit) UpdateStats {
 	for i := range stamp {
 		stamp[i] = -1
 	}
+	activeLevels := 0
 	for t := 1; t <= T; t++ {
+		if len(dirty[t]) == 0 {
+			continue // idle level: the sparse schedule's zero-cost case
+		}
+		activeLevels++
 		for _, v := range dirty[t] {
 			if stamp[v] == int32(t) {
 				continue // duplicate mark within this level
@@ -116,6 +134,10 @@ func (s *State) Update(batch []graph.Edit) UpdateStats {
 				}
 			}
 		}
+	}
+	if activeLevels > 0 {
+		stats.RoundsRun = activeLevels
+		stats.LevelsSkipped = T - activeLevels
 	}
 	return stats
 }

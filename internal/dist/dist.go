@@ -29,10 +29,18 @@
 //   - Incremental repair (Algorithm 2) applies the batch locally, repicks
 //     affected slots with the shared core.RepickPlan rules, fixes the
 //     record lists with drop/add messages, and then runs correction
-//     propagation level-synchronously: three rounds per level (dirty-mark
-//     ingestion + value request, value reply, value install + cascade), so
-//     a level only reads labels that earlier levels have finalized —
-//     exactly the invariant the sequential Update exploits.
+//     propagation level-synchronously on a *sparse* schedule: every cascade
+//     round piggybacks an all-reduce-min ballot ("the lowest level I still
+//     have work at", cluster.EmitAllMin/ReduceAllMin), so all P workers
+//     jump together from the level just finished to the next globally
+//     dirty level and any run of idle levels costs zero rounds. A non-idle
+//     level costs three rounds (dirty-mark ingestion + value request,
+//     value reply, value install + cascade) — or a single fused round when
+//     the ballots agree that every request at that level is owner-local.
+//     Because the schedule visits the non-idle levels in increasing order
+//     and a pick's position is always below its level, a level still only
+//     reads labels that earlier levels have finalized — exactly the
+//     invariant the sequential Update exploits, preserved under skipping.
 //
 // Because every random decision is a pure function of
 // (seed, epoch, vertex, iteration) and the per-worker adjacency shards
@@ -86,6 +94,11 @@ const (
 	kindAttach
 	// kindSpeak delivers one spoken label B to listener A (header-only).
 	kindSpeak
+	// kindAgree is one worker's sparse-Update schedule ballot (see
+	// cluster.EmitAllMin): A is the lowest level the sender still has
+	// correction work at, B is 1 when every request the sender knows of at
+	// that level is owner-local (the level can run fused).
+	kindAgree
 )
 
 // shard is one worker's slice of the rSLPA state: adjacency, label matrix,

@@ -45,6 +45,29 @@ func newEngine(t *testing.T, workers int) *cluster.Engine {
 	return eng
 }
 
+// requireSameStats asserts distributed UpdateStats match the sequential
+// ones on every mode-independent field, and that the distributed RoundsRun
+// (the only schedule-dependent field: actual BSP supersteps, where the
+// sequential engine counts the fused one-pass-per-active-level lower
+// bound) stays within the sparse schedule's envelope — at least one round
+// per non-idle level plus the apply round, at most three.
+func requireSameStats(t *testing.T, ss, ds core.UpdateStats, T int) {
+	t.Helper()
+	if ss.RoundsRun == 0 {
+		// No-dirt batch: both counters are defined as zero in every mode.
+		if ds.RoundsRun != 0 {
+			t.Fatalf("distributed RoundsRun = %d for a batch that dirtied nothing", ds.RoundsRun)
+		}
+	} else if active := T - ss.LevelsSkipped; ds.RoundsRun < 1+active || ds.RoundsRun > 1+3*active {
+		t.Fatalf("distributed RoundsRun = %d outside sparse envelope [%d, %d] for %d active levels",
+			ds.RoundsRun, 1+active, 1+3*active, active)
+	}
+	ds.RoundsRun = ss.RoundsRun
+	if ss != ds {
+		t.Fatalf("stats: sequential %+v, distributed %+v", ss, ds)
+	}
+}
+
 // requireSameLabels asserts the distributed label matrix is bit-identical
 // to the sequential one over every vertex of g.
 func requireSameLabels(t *testing.T, g *graph.Graph, seq *core.State, d *RSLPA) {
@@ -147,9 +170,7 @@ func TestUpdateMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if ss != ds {
-				t.Fatalf("workers=%d batch %d: stats sequential %+v, distributed %+v", workers, i, ss, ds)
-			}
+			requireSameStats(t, ss, ds, cfg.T)
 			requireSameLabels(t, work, seq, d)
 		}
 
@@ -297,9 +318,7 @@ func TestUpdateBoundaryBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ss != ds {
-		t.Fatalf("stats: sequential %+v, distributed %+v", ss, ds)
-	}
+	requireSameStats(t, ss, ds, cfg.T)
 	work := g.Clone()
 	work.Apply(batch)
 	requireSameLabels(t, work, seq, d)

@@ -26,8 +26,11 @@ type RSLPA struct {
 	// the engine moved for them (2|V| messages per iteration).
 	PropagateStats cluster.Stats
 	// LastUpdate reports the wire cost of the most recent Update call;
-	// here Rounds counts raw BSP supersteps (up to three per correction
-	// level plus the repick round — the engine's own accounting).
+	// here Rounds counts raw BSP supersteps of the sparse schedule: the
+	// apply/repick round, then one round (fused) to three rounds per
+	// non-idle correction level — runs of idle levels cost zero rounds,
+	// skipped by the piggybacked AllReduce-min agreement, so the count is
+	// O(active levels), not O(T).
 	LastUpdate cluster.Stats
 	// LastPostprocess reports the wire cost of the most recent Postprocess
 	// call on this driver (raw BSP supersteps, messages, bytes).
@@ -133,48 +136,104 @@ func (d *RSLPA) Propagate() error {
 
 // updScratch is one worker's cross-round state during an Update run.
 type updScratch struct {
-	stats   core.UpdateStats
-	dirtyQ  [][]uint32 // dirtyQ[t]: owned slots awaiting a value request
-	stamp   []int32    // last level a vertex was requested at (dedup)
-	pending int        // queued-not-yet-requested entries across all levels
+	stats  core.UpdateStats
+	dirtyQ [][]uint32 // dirtyQ[t]: owned slots awaiting a value request
+	stamp  []int32    // last level a vertex was requested at (dedup)
+
+	phase     uint8 // role of the next round this worker executes
+	lo        int32 // schedule floor: no queued level below lo remains
+	remoteMin int32 // lowest level a remote mark was emitted at this round
+	levels    int   // levels scheduled so far (identical on every worker)
 }
+
+// Correction-propagation round roles. All workers transition identically
+// because every transition is decided by the same reduced ballots.
+const (
+	phaseAgree   uint8 = iota // fold ballots, then run R1 or a fused level
+	phaseServe                // answer value requests (R2)
+	phaseInstall              // install values, cascade, ballot (R3)
+)
 
 func (u *updScratch) mark(v uint32, t int32) {
 	u.dirtyQ[t] = append(u.dirtyQ[t], v)
-	u.pending++
+}
+
+func (u *updScratch) ensureStamp(n int) {
+	if u.stamp != nil {
+		return
+	}
+	u.stamp = make([]int32, n)
+	for i := range u.stamp {
+		u.stamp[i] = -1
+	}
 }
 
 // Update applies a batch of edge edits and runs Correction Propagation
-// (Algorithm 2) across the partitions. Round 0 applies the batch to every
-// shard and repicks affected slots with the shared core.RepickPlan rules
-// (emitting record drop/add fixups); each level t then costs three rounds —
-// R1 ingests dirty marks and emits value requests, R2 replies, R3 installs
-// the value and cascades new dirty marks to the slots that copied it. A
-// cascade from level t only targets levels > t, so marks always arrive
-// before their level's R1.
+// (Algorithm 2) across the partitions on the sparse schedule (see correct).
 func (d *RSLPA) Update(batch []graph.Edit) (core.UpdateStats, error) {
 	if !d.run {
 		return core.UpdateStats{}, fmt.Errorf("dist: Update before Propagate")
 	}
 	d.epoch++
+	stats, err := d.correct(func(w int, sh *shard, sc *updScratch, emit cluster.Emitter) {
+		d.applyBatch(sh, sc, w, batch, emit)
+	})
+	if err != nil {
+		return core.UpdateStats{}, err
+	}
+	// Mirror the batch on the master graph (same AddEdge/RemoveEdge order
+	// as the shards, so adjacency order stays in lockstep).
+	d.g.Apply(batch)
+	return stats, nil
+}
+
+// correct runs Correction Propagation over the partitions. Round 0 calls
+// seed on every worker (Update's batch apply + repick, which queues local
+// dirty marks and emits record fixups); every subsequent round is scheduled
+// sparsely:
+//
+//   - Each cascade round (round 0, an R3, or a fused round) piggybacks one
+//     ballot per worker — the lowest level it still has work at, counting
+//     both its local queues and the marks it just emitted — via
+//     cluster.EmitAllMin; idle workers stay silent. No extra barrier: the
+//     ballots ride the round's existing exchange.
+//   - The next round every worker folds the same P ballots with
+//     cluster.ReduceAllMin, so all workers agree on the next non-idle
+//     level and jump to it together; any run of idle levels collapses to
+//     zero rounds, and when no ballot arrives at all the run quiesces.
+//   - A level whose ballots all carry the owner-local flag runs fused:
+//     requests are answered from the worker's own shard and the install +
+//     cascade happen in the same round, so a fully-local level costs one
+//     round instead of three.
+//
+// Skipping preserves the level invariant: the schedule visits non-idle
+// levels in increasing order (cascades only target higher levels, and the
+// reduced minimum accounts for in-flight marks through their sender's
+// ballot), so a level still reads only labels that earlier levels have
+// finalized.
+func (d *RSLPA) correct(seed func(w int, sh *shard, sc *updScratch, emit cluster.Emitter)) (core.UpdateStats, error) {
 	T := d.cfg.T
+	maxLvl := int32(T) + 1
 	before := d.eng.Stats()
 
 	scratch := make([]*updScratch, d.eng.Workers())
 	for w := range scratch {
-		scratch[w] = &updScratch{dirtyQ: make([][]uint32, T+1)}
+		scratch[w] = &updScratch{dirtyQ: make([][]uint32, T+1), lo: 1, remoteMin: maxLvl}
 	}
 
 	step := func(w, round int, inbox []cluster.Message, emit cluster.Emitter) (bool, error) {
 		sh := d.shards[w]
 		sc := scratch[w]
 		if round == 0 {
-			d.applyBatch(sh, sc, w, batch, emit)
-			return sc.pending > 0, nil
+			sc.remoteMin = maxLvl
+			seed(w, sh, sc, emit)
+			d.ballot(sh, sc, w, emit)
+			return false, nil
 		}
-		lvl := int32((round-1)/3 + 1)
-		switch (round - 1) % 3 {
-		case 0: // R1: ingest record fixups and dirty marks, emit requests.
+		switch sc.phase {
+		case phaseAgree:
+			// Ingest everything in flight: record fixups (round 1 only),
+			// dirty marks from the previous cascade round, and the ballots.
 			for _, m := range inbox {
 				switch m.Kind {
 				case kindDropRec:
@@ -187,33 +246,36 @@ func (d *RSLPA) Update(batch []graph.Edit) (core.UpdateStats, error) {
 					sc.mark(m.A, int32(m.B))
 				}
 			}
-			if sc.stamp == nil {
-				sc.stamp = make([]int32, len(sh.exists))
-				for i := range sc.stamp {
-					sc.stamp[i] = -1
-				}
+			next, fused, _ := cluster.ReduceAllMin(inbox, kindAgree)
+			if next == cluster.AllMinIdle {
+				return false, nil // nobody has work left: quiesce
 			}
-			for _, v := range sc.dirtyQ[lvl] {
-				sc.pending--
-				if sc.stamp[v] == lvl {
-					continue // duplicate mark within this level
-				}
-				sc.stamp[v] = lvl
-				sc.stats.Touched++
-				src := uint32(sh.src[v][lvl])
-				emit(d.eng.Owner(src), cluster.Message{
-					Kind: kindPickReq, A: src, B: uint32(sh.pos[v][lvl]), Payload: []uint32{v, uint32(lvl)},
-				})
+			lvl := int32(next)
+			sc.levels++
+			if fused {
+				// R1+R2+R3 in one round: every request at lvl is
+				// owner-local, so serve, install and cascade in place.
+				sc.remoteMin = maxLvl
+				d.runFusedLevel(sh, sc, w, lvl, emit)
+				d.ballot(sh, sc, w, emit)
+				return false, nil
 			}
-			sc.dirtyQ[lvl] = nil
-		case 1: // R2: serve value requests (levels < lvl are final).
+			d.emitRequests(sh, sc, w, lvl, emit)
+			sc.phase = phaseServe
+		case phaseServe:
+			// R2: serve value requests (positions below the level are
+			// final, whether or not their levels were ever scheduled).
 			for _, m := range inbox {
 				tar, iter := m.Payload[0], m.Payload[1]
 				emit(d.eng.Owner(tar), cluster.Message{
 					Kind: kindPickRep, A: tar, B: iter, Payload: []uint32{sh.labels[m.A][m.B]},
 				})
 			}
-		case 2: // R3: install values, cascade to the slots that copied them.
+			sc.phase = phaseInstall
+		case phaseInstall:
+			// R3: install values, cascade to the slots that copied them,
+			// and ballot for the next level.
+			sc.remoteMin = maxLvl
 			for _, m := range inbox {
 				v, t, val := m.A, int32(m.B), m.Payload[0]
 				if sh.labels[v][t] == val {
@@ -221,24 +283,22 @@ func (d *RSLPA) Update(batch []graph.Edit) (core.UpdateStats, error) {
 				}
 				sh.labels[v][t] = val
 				sc.stats.Changed++
-				for _, rec := range sh.recv[v] {
-					if rec.Pos == t {
-						emit(d.eng.Owner(rec.Tar), cluster.Message{
-							Kind: kindDirty, A: rec.Tar, B: uint32(rec.Iter),
-						})
-					}
-				}
+				d.cascade(sh, sc, w, v, t, emit)
 			}
+			d.ballot(sh, sc, w, emit)
+			sc.phase = phaseAgree
 		}
-		return sc.pending > 0, nil
+		return false, nil
 	}
-	if _, err := d.eng.RunRounds(step, 1+3*T); err != nil {
+	// 2 + 3T rounds is unreachable under the sparse schedule (levels are
+	// visited at most once); hitting the cap means the agreement broke.
+	rounds, err := d.eng.RunRounds(step, 2+3*T)
+	if err != nil {
 		return core.UpdateStats{}, err
 	}
-
-	// Mirror the batch on the master graph (same AddEdge/RemoveEdge order
-	// as the shards, so adjacency order stays in lockstep).
-	d.g.Apply(batch)
+	if rounds >= 2+3*T {
+		return core.UpdateStats{}, fmt.Errorf("dist: correction schedule failed to converge in %d rounds", rounds)
+	}
 
 	var stats core.UpdateStats
 	for _, sc := range scratch {
@@ -248,8 +308,111 @@ func (d *RSLPA) Update(batch []graph.Edit) (core.UpdateStats, error) {
 		stats.Touched += sc.stats.Touched
 		stats.Changed += sc.stats.Changed
 	}
+	// Every worker schedules the same level sequence; read worker 0's.
+	if lv := scratch[0].levels; lv > 0 {
+		stats.RoundsRun = rounds
+		stats.LevelsSkipped = T - lv
+	}
 	d.LastUpdate = d.eng.Stats().Sub(before)
 	return stats, nil
+}
+
+// ballot piggybacks this worker's schedule vote on the cascade round it is
+// called from: the lowest level it knows still has work (its own queues
+// plus any remote marks it emitted this round) and whether that level's
+// requests are all owner-local from its point of view. Idle workers stay
+// silent — in BSP silence is as reliable as a message, so an all-idle
+// cluster terminates the run with zero extra rounds.
+func (d *RSLPA) ballot(sh *shard, sc *updScratch, w int, emit cluster.Emitter) {
+	T := int32(d.cfg.T)
+	next := sc.remoteMin
+	for t := sc.lo; t <= T && t < next; t++ {
+		if len(sc.dirtyQ[t]) > 0 {
+			next = t
+			break
+		}
+	}
+	if next > T {
+		return // idle: no ballot, no traffic
+	}
+	// An in-flight remote mark at the nominated level rules fusion out: its
+	// receiver cannot vouch for the source's locality until it ingests it.
+	local := sc.remoteMin > next
+	if local {
+		for _, v := range sc.dirtyQ[next] {
+			if d.eng.Owner(uint32(sh.src[v][next])) != w {
+				local = false
+				break
+			}
+		}
+	}
+	cluster.EmitAllMin(emit, d.eng.Workers(), kindAgree, uint32(next), local)
+}
+
+// drainLevel drains one level's queue with the stamp-deduplicated
+// accounting both schedules share (Touched counts exactly what the
+// sequential Update counts), calling slot once per fresh mark, and
+// advances the schedule floor past the level.
+func (sc *updScratch) drainLevel(sh *shard, lvl int32, slot func(v uint32)) {
+	sc.ensureStamp(len(sh.exists))
+	for _, v := range sc.dirtyQ[lvl] {
+		if sc.stamp[v] == lvl {
+			continue // duplicate mark within this level
+		}
+		sc.stamp[v] = lvl
+		sc.stats.Touched++
+		slot(v)
+	}
+	sc.dirtyQ[lvl] = nil
+	sc.lo = lvl + 1
+}
+
+// emitRequests is R1 for one non-fused level: ask each queued slot's
+// source owner for the finalized label value.
+func (d *RSLPA) emitRequests(sh *shard, sc *updScratch, w int, lvl int32, emit cluster.Emitter) {
+	sc.drainLevel(sh, lvl, func(v uint32) {
+		src := uint32(sh.src[v][lvl])
+		emit(d.eng.Owner(src), cluster.Message{
+			Kind: kindPickReq, A: src, B: uint32(sh.pos[v][lvl]), Payload: []uint32{v, uint32(lvl)},
+		})
+	})
+}
+
+// runFusedLevel executes a fully owner-local level in a single round:
+// every queued slot's source lives on this worker, so the value request is
+// a local array read and the install + cascade happen immediately. Bit
+// equivalence with the three-round path holds because a slot at level lvl
+// reads only positions < lvl, which are final before the level starts.
+func (d *RSLPA) runFusedLevel(sh *shard, sc *updScratch, w int, lvl int32, emit cluster.Emitter) {
+	sc.drainLevel(sh, lvl, func(v uint32) {
+		val := sh.labels[sh.src[v][lvl]][sh.pos[v][lvl]]
+		if sh.labels[v][lvl] == val {
+			return
+		}
+		sh.labels[v][lvl] = val
+		sc.stats.Changed++
+		d.cascade(sh, sc, w, v, lvl, emit)
+	})
+}
+
+// cascade forwards a changed label to every slot that copied it: marks for
+// owned targets are queued directly (no self-message), marks for remote
+// targets are emitted and tracked in remoteMin so the next ballot accounts
+// for them.
+func (d *RSLPA) cascade(sh *shard, sc *updScratch, w int, v uint32, t int32, emit cluster.Emitter) {
+	for _, rec := range sh.recv[v] {
+		if rec.Pos != t {
+			continue
+		}
+		if owner := d.eng.Owner(rec.Tar); owner == w {
+			sc.mark(rec.Tar, rec.Iter)
+		} else {
+			emit(owner, cluster.Message{Kind: kindDirty, A: rec.Tar, B: uint32(rec.Iter)})
+			if rec.Iter < sc.remoteMin {
+				sc.remoteMin = rec.Iter
+			}
+		}
+	}
 }
 
 // applyBatch is Update's round 0 for one worker: replay the batch against

@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rslpa/internal/cluster"
+	"rslpa/internal/core"
+	"rslpa/internal/graph"
+)
+
+// FuzzUpdateEquivalence randomizes everything the sparse scheduler depends
+// on — graph shape, worker count, iteration count, batch contents (including
+// self-loops, duplicate and cancelling edits, and brand-new vertex IDs) —
+// and asserts sequential State.Update and dist.RSLPA.Update stay
+// bit-identical on labels and on every mode-independent stats field. CI
+// runs it with a fixed 10s budget alongside FuzzLoadCheckpoint.
+func FuzzUpdateEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint8(17), uint8(2))
+	f.Add(uint64(42), uint8(2), uint8(4), uint8(3))
+	f.Add(uint64(7), uint8(6), uint8(29), uint8(1))
+	f.Add(uint64(1234567), uint8(3), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, pRaw, tRaw, bRaw uint8) {
+		workers := 1 + int(pRaw%4)
+		T := 3 + int(tRaw%30)
+		nBatches := 1 + int(bRaw%3)
+		rnd := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+
+		n := 16 + int(seed%48)
+		g := graph.New()
+		for i := 0; i < 3*n; i++ {
+			u, v := uint32(rnd.IntN(n)), uint32(rnd.IntN(n))
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		if g.NumVertices() == 0 {
+			g.AddEdge(0, 1)
+		}
+
+		cfg := core.Config{T: T, Seed: seed ^ 0xdecafbad}
+		seq, err := core.Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := cluster.New(cluster.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		d, err := NewRSLPA(eng, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Propagate(); err != nil {
+			t.Fatal(err)
+		}
+
+		work := g.Clone()
+		for b := 0; b < nBatches; b++ {
+			batch := make([]graph.Edit, 1+rnd.IntN(12))
+			for i := range batch {
+				op := graph.Insert
+				if rnd.IntN(2) == 1 {
+					op = graph.Delete
+				}
+				// IDs slightly past n exercise vertex insertion; identical
+				// endpoints exercise the self-loop rejection paths.
+				batch[i] = graph.Edit{
+					Op: op,
+					U:  uint32(rnd.IntN(n + 4)),
+					V:  uint32(rnd.IntN(n + 4)),
+				}
+			}
+			ss := seq.Update(batch)
+			ds, err := d.Update(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			work.Apply(batch)
+			requireSameStats(t, ss, ds, T)
+			requireSameLabels(t, work, seq, d)
+		}
+	})
+}

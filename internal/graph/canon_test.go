@@ -32,10 +32,10 @@ func TestCanonicalizeOrientsAndSorts(t *testing.T) {
 func TestCanonicalizeDropsSelfLoopsAndNoOps(t *testing.T) {
 	g := canonGraph()
 	got := Canonicalize(g, []Edit{
-		{Op: Insert, U: 7, V: 7},  // self-loop
-		{Op: Insert, U: 0, V: 1},  // already present
-		{Op: Delete, U: 5, V: 6},  // absent
-		{Op: Delete, U: 3, V: 3},  // self-loop
+		{Op: Insert, U: 7, V: 7}, // self-loop
+		{Op: Insert, U: 0, V: 1}, // already present
+		{Op: Delete, U: 5, V: 6}, // absent
+		{Op: Delete, U: 3, V: 3}, // self-loop
 	})
 	if got != nil {
 		t.Fatalf("expected empty canonical batch, got %v", got)

@@ -136,6 +136,16 @@ func TestHTTPStatsAndHealth(t *testing.T) {
 	if st.QueueCapacity == 0 {
 		t.Fatal("queue capacity missing")
 	}
+	// The sparse-schedule counters must be surfaced under their wire names.
+	var raw map[string]any
+	if code := getJSON(t, srv.URL+"/stats", &raw); code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	for _, k := range []string{"levels_skipped", "rounds_run", "last_levels_skipped", "last_rounds_run"} {
+		if _, ok := raw[k]; !ok {
+			t.Fatalf("/stats missing %q", k)
+		}
+	}
 
 	var h map[string]any
 	if code := getJSON(t, srv.URL+"/healthz", &h); code != http.StatusOK {

@@ -128,6 +128,16 @@ type Stats struct {
 	Touched  uint64 `json:"touched"`
 	Changed  uint64 `json:"changed"`
 
+	// Sparse correction-schedule counters (core.UpdateStats.LevelsSkipped /
+	// RoundsRun): cumulative idle levels collapsed to zero rounds, the
+	// correction rounds actually run, and the last batch's share of each —
+	// together with last_update_micros, the yardstick for the Update-path
+	// ingest rate.
+	LevelsSkipped     uint64 `json:"levels_skipped"`
+	RoundsRun         uint64 `json:"rounds_run"`
+	LastLevelsSkipped int    `json:"last_levels_skipped"`
+	LastRoundsRun     int    `json:"last_rounds_run"`
+
 	LastError string `json:"last_error,omitempty"`
 }
 
@@ -426,6 +436,10 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 	s.st.Repicked += uint64(stats.Repicked)
 	s.st.Touched += uint64(stats.Touched)
 	s.st.Changed += uint64(stats.Changed)
+	s.st.LevelsSkipped += uint64(stats.LevelsSkipped)
+	s.st.RoundsRun += uint64(stats.RoundsRun)
+	s.st.LastLevelsSkipped = stats.LevelsSkipped
+	s.st.LastRoundsRun = stats.RoundsRun
 	s.mu.Unlock()
 
 	if s.opts.CheckpointPath != "" {

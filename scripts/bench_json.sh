@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# bench_json.sh <prefix> <in> <out>
+#
+# Convert `go test -bench` output to a JSON array for the CI bench
+# artifacts: every line whose benchmark name starts with <prefix> becomes
+# {"name": ..., "iterations": ..., "<unit>": <value>, ...} with one key per
+# reported metric (ns/op, custom ReportMetric units, allocs, ...). The
+# result is written to <out> and echoed for the job log.
+set -eu
+
+prefix=$1
+in=$2
+out=$3
+
+awk -v prefix="$prefix" 'BEGIN { printf "[" }
+     $0 ~ ("^" prefix) {
+       if (n++) printf ",";
+       printf "{\"name\":\"%s\",\"iterations\":%s", $1, $2;
+       for (i = 3; i < NF; i += 2) printf ",\"%s\":%s", $(i+1), $i;
+       printf "}"
+     }
+     END { printf "]\n" }' "$in" > "$out"
+cat "$out"
