@@ -512,3 +512,70 @@ func TestTouchedGrowsWithBatchSize(t *testing.T) {
 		t.Fatalf("larger batch touched %d <= smaller batch %d", large.Touched, small.Touched)
 	}
 }
+
+// TestDirtySetContract pins the UpdateStats.Dirty contract the streaming
+// layer's copy-on-write publication depends on: nil for a batch that
+// changed nothing, sorted and deduplicated otherwise, covering every
+// effective-edit endpoint.
+func TestDirtySetContract(t *testing.T) {
+	g := randomGraph(200, 600, 13)
+	s := mustRun(t, g, Config{T: 20, Seed: 7})
+
+	if stats := s.Update(nil); stats.Dirty != nil {
+		t.Fatalf("empty batch: Dirty = %v, want nil", stats.Dirty)
+	}
+	// An all-no-op batch (deleting absent edges) changes nothing either.
+	noop := graph.Canonicalize(s.Graph(), []graph.Edit{{Op: graph.Insert, U: 0, V: s.Graph().Neighbors(0)[0]}})
+	if len(noop) != 0 {
+		t.Fatalf("canonicalization kept a duplicate insert: %v", noop)
+	}
+
+	batch := graph.Canonicalize(s.Graph(), []graph.Edit{
+		{Op: graph.Insert, U: 3, V: 190},
+		{Op: graph.Delete, U: 0, V: s.Graph().Neighbors(0)[0]},
+	})
+	dirtyOf := make(map[uint32]bool)
+	for _, e := range batch {
+		dirtyOf[e.U], dirtyOf[e.V] = true, true
+	}
+	stats := s.Update(batch)
+	if stats.Dirty == nil {
+		t.Fatal("effective batch produced nil Dirty")
+	}
+	seen := make(map[uint32]bool, len(stats.Dirty))
+	for i, v := range stats.Dirty {
+		if i > 0 && stats.Dirty[i-1] >= v {
+			t.Fatalf("Dirty not strictly sorted at %d: %v", i, stats.Dirty[:i+1])
+		}
+		seen[v] = true
+	}
+	for v := range dirtyOf {
+		if !seen[v] {
+			t.Fatalf("edit endpoint %d missing from Dirty %v", v, stats.Dirty)
+		}
+	}
+	if uint64(len(stats.Dirty)) > 2*uint64(len(batch))+uint64(stats.Touched) {
+		t.Fatalf("Dirty has %d vertices for %d edits touching %d labels", len(stats.Dirty), len(batch), stats.Touched)
+	}
+}
+
+// TestSortedDirty covers the set-to-slice helper directly.
+func TestSortedDirty(t *testing.T) {
+	if got := SortedDirty(nil); got != nil {
+		t.Fatalf("SortedDirty(nil) = %v", got)
+	}
+	if got := SortedDirty(map[uint32]struct{}{}); got != nil {
+		t.Fatalf("SortedDirty(empty) = %v", got)
+	}
+	set := map[uint32]struct{}{9: {}, 1: {}, 4096: {}, 0: {}}
+	got := SortedDirty(set)
+	want := []uint32{0, 1, 9, 4096}
+	if len(got) != len(want) {
+		t.Fatalf("SortedDirty = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedDirty = %v, want %v", got, want)
+		}
+	}
+}

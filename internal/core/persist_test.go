@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -204,7 +205,7 @@ func TestLoadedStateResumesBitIdentically(t *testing.T) {
 		twinCopy := twin.Clone()
 		s1 := twinCopy.Update(resume)
 		s2 := loaded.Update(resume)
-		if s1 != s2 {
+		if !reflect.DeepEqual(s1, s2) {
 			t.Fatalf("update stats diverged: %+v vs %+v", s1, s2)
 		}
 		if !twinCopy.EqualLabels(loaded) {

@@ -29,6 +29,17 @@ type UpdateStats struct {
 	// (the apply/repick round plus one to three rounds per non-idle level).
 	// A batch that dirties nothing reports zero for both counters.
 	RoundsRun int
+
+	// Dirty is the sorted, deduplicated set of vertices whose externally
+	// visible state (adjacency or label sequence) may have changed: the
+	// endpoints of every effective edit plus every vertex correction
+	// propagation visited. It is what lets the streaming service publish
+	// copy-on-write snapshots — only the shards covering Dirty vertices
+	// are recloned; everything else is shared with the previous epoch.
+	// The set is a pure function of the canonical batch, so it is
+	// identical across execution modes and worker counts. Nil when the
+	// batch changed nothing.
+	Dirty []uint32
 }
 
 // Update applies a batch of edge edits to the State's graph and runs
@@ -95,7 +106,9 @@ func (s *State) Update(batch []graph.Edit) UpdateStats {
 
 	T := s.cfg.T
 	dirty := make([][]uint32, T+1)
+	dirtySet := make(map[uint32]struct{}, len(affected))
 	for _, v := range affected {
+		dirtySet[v] = struct{}{} // adjacency changed even if no slot repicks
 		stats.Repicked += s.repickVertex(v, delta[v], dirty)
 	}
 
@@ -117,6 +130,7 @@ func (s *State) Update(batch []graph.Edit) UpdateStats {
 				continue // duplicate mark within this level
 			}
 			stamp[v] = int32(t)
+			dirtySet[v] = struct{}{}
 			stats.Touched++
 			newVal := s.labels[s.src[v][t]][s.pos[v][t]]
 			if newVal == s.labels[v][t] {
@@ -139,7 +153,23 @@ func (s *State) Update(batch []graph.Edit) UpdateStats {
 		stats.RoundsRun = activeLevels
 		stats.LevelsSkipped = T - activeLevels
 	}
+	stats.Dirty = SortedDirty(dirtySet)
 	return stats
+}
+
+// SortedDirty flattens a dirty-vertex set into the canonical UpdateStats
+// form: ascending IDs, nil when empty. Shared with the distributed driver
+// so both modes report identical sets.
+func SortedDirty(set map[uint32]struct{}) []uint32 {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // repickVertex applies the Category 1/2/3 analysis to every label slot of

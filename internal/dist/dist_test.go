@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"rslpa/internal/cluster"
@@ -63,7 +64,7 @@ func requireSameStats(t *testing.T, ss, ds core.UpdateStats, T int) {
 			ds.RoundsRun, 1+active, 1+3*active, active)
 	}
 	ds.RoundsRun = ss.RoundsRun
-	if ss != ds {
+	if !reflect.DeepEqual(ss, ds) {
 		t.Fatalf("stats: sequential %+v, distributed %+v", ss, ds)
 	}
 }
@@ -256,7 +257,7 @@ func TestUpdateEmptyBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats != (core.UpdateStats{}) {
+	if !reflect.DeepEqual(stats, core.UpdateStats{}) {
 		t.Fatalf("empty batch did work: %+v", stats)
 	}
 	if d.LastUpdate.Messages != 0 {

@@ -139,6 +139,10 @@ type updScratch struct {
 	stats  core.UpdateStats
 	dirtyQ [][]uint32 // dirtyQ[t]: owned slots awaiting a value request
 	stamp  []int32    // last level a vertex was requested at (dedup)
+	// touched collects this worker's owned vertices whose adjacency or
+	// labels changed (UpdateStats.Dirty); owners are disjoint, so the
+	// union over workers equals the sequential set exactly.
+	touched map[uint32]struct{}
 
 	phase     uint8 // role of the next round this worker executes
 	lo        int32 // schedule floor: no queued level below lo remains
@@ -218,7 +222,10 @@ func (d *RSLPA) correct(seed func(w int, sh *shard, sc *updScratch, emit cluster
 
 	scratch := make([]*updScratch, d.eng.Workers())
 	for w := range scratch {
-		scratch[w] = &updScratch{dirtyQ: make([][]uint32, T+1), lo: 1, remoteMin: maxLvl}
+		scratch[w] = &updScratch{
+			dirtyQ: make([][]uint32, T+1), lo: 1, remoteMin: maxLvl,
+			touched: make(map[uint32]struct{}),
+		}
 	}
 
 	step := func(w, round int, inbox []cluster.Message, emit cluster.Emitter) (bool, error) {
@@ -301,13 +308,18 @@ func (d *RSLPA) correct(seed func(w int, sh *shard, sc *updScratch, emit cluster
 	}
 
 	var stats core.UpdateStats
+	dirtySet := make(map[uint32]struct{})
 	for _, sc := range scratch {
 		stats.Inserted += sc.stats.Inserted
 		stats.Deleted += sc.stats.Deleted
 		stats.Repicked += sc.stats.Repicked
 		stats.Touched += sc.stats.Touched
 		stats.Changed += sc.stats.Changed
+		for v := range sc.touched {
+			dirtySet[v] = struct{}{}
+		}
 	}
+	stats.Dirty = core.SortedDirty(dirtySet)
 	// Every worker schedules the same level sequence; read worker 0's.
 	if lv := scratch[0].levels; lv > 0 {
 		stats.RoundsRun = rounds
@@ -360,6 +372,7 @@ func (sc *updScratch) drainLevel(sh *shard, lvl int32, slot func(v uint32)) {
 			continue // duplicate mark within this level
 		}
 		sc.stamp[v] = lvl
+		sc.touched[v] = struct{}{}
 		sc.stats.Touched++
 		slot(v)
 	}
@@ -496,6 +509,7 @@ func (d *RSLPA) applyBatch(sh *shard, sc *updScratch, w int, batch []graph.Edit,
 		if len(dm) == 0 {
 			continue
 		}
+		sc.touched[v] = struct{}{} // adjacency changed even if no slot repicks
 		plan := core.NewRepickPlan(v, dm, sh.adj[v])
 		if !plan.Active() {
 			continue

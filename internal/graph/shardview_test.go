@@ -1,0 +1,81 @@
+package graph
+
+import "testing"
+
+func TestShardGeometry(t *testing.T) {
+	if ShardOf(0) != 0 || ShardOf(ShardSize-1) != 0 || ShardOf(ShardSize) != 1 {
+		t.Fatalf("ShardOf boundary: %d %d %d", ShardOf(0), ShardOf(ShardSize-1), ShardOf(ShardSize))
+	}
+	for _, tc := range []struct{ maxID, want int }{
+		{0, 0}, {1, 1}, {ShardSize, 1}, {ShardSize + 1, 2}, {3 * ShardSize, 3},
+	} {
+		if got := NumShards(tc.maxID); got != tc.want {
+			t.Fatalf("NumShards(%d) = %d, want %d", tc.maxID, got, tc.want)
+		}
+	}
+}
+
+func TestCloneShardFreezesBoundaryAndTallies(t *testing.T) {
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(ShardSize-1, ShardSize) // straddles the shard 0/1 boundary
+	g.AddEdge(ShardSize-1, 2)
+
+	s0, s1 := g.CloneShard(0), g.CloneShard(1)
+	if s0.Base != 0 || s1.Base != ShardSize {
+		t.Fatalf("bases: %d %d", s0.Base, s1.Base)
+	}
+	if s0.Present != 4 || s1.Present != 1 {
+		t.Fatalf("present: %d %d", s0.Present, s1.Present)
+	}
+	// Half-edge tallies: the boundary edge contributes one half per side.
+	if s0.HalfEdges != 5 || s1.HalfEdges != 1 {
+		t.Fatalf("half-edges: %d %d", s0.HalfEdges, s1.HalfEdges)
+	}
+	if !s0.Has(ShardSize-1) || s0.Has(ShardSize) || !s1.Has(ShardSize) || s1.Has(ShardSize-1) {
+		t.Fatal("boundary presence leaked across shards")
+	}
+	if s0.Degree(ShardSize-1) != 2 || s1.Degree(ShardSize) != 1 {
+		t.Fatalf("boundary degrees: %d %d", s0.Degree(ShardSize-1), s1.Degree(ShardSize))
+	}
+	// Out-of-coverage IDs (including one below Base, which wraps the
+	// unsigned offset) are absent, not a panic.
+	if s1.Has(0) || s1.Degree(0) != 0 || s1.Neighbors(0) != nil {
+		t.Fatal("shard 1 claims vertex 0")
+	}
+	if s0.Has(2 * ShardSize) {
+		t.Fatal("shard 0 claims an ID beyond the graph")
+	}
+}
+
+func TestCloneShardIsDeepCopy(t *testing.T) {
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	sh := g.CloneShard(0)
+	wantDeg := sh.Degree(1)
+
+	g.RemoveEdge(1, 2)
+	g.RemoveVertex(0)
+	g.AddEdge(5, 6)
+
+	if !sh.Has(0) || sh.Degree(1) != wantDeg || sh.Has(5) {
+		t.Fatalf("frozen shard tracked live graph: has(0)=%v deg(1)=%d has(5)=%v",
+			sh.Has(0), sh.Degree(1), sh.Has(5))
+	}
+	if n := sh.Neighbors(1); len(n) != 2 || n[0] != 0 || n[1] != 2 {
+		t.Fatalf("frozen neighbors of 1: %v", n)
+	}
+}
+
+func TestCloneShardEmptyRange(t *testing.T) {
+	g := New()
+	g.AddEdge(0, 1)
+	sh := g.CloneShard(3) // far beyond the ID space
+	if sh.Present != 0 || sh.HalfEdges != 0 || len(sh.Exists) != 0 {
+		t.Fatalf("out-of-range shard not empty: %+v", sh)
+	}
+	if sh.Has(3 * ShardSize) {
+		t.Fatal("empty shard claims a vertex")
+	}
+}

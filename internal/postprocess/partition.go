@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"rslpa/internal/cover"
-	"rslpa/internal/graph"
 )
 
 // This file is the partition-aware half of the extraction pipeline: the
@@ -98,7 +97,7 @@ func Tau2OfParts(parts [][]WeightedEdge) float64 {
 // attachment candidates. It returns bit-identical Results to
 // ExtractFromWeights on the concatenation of the parts, which the tests
 // pin; internal/dist runs the same plan over the wire.
-func ExtractPartitioned(g *graph.Graph, parts [][]WeightedEdge, cfg Config) (*Result, error) {
+func ExtractPartitioned(g GraphView, parts [][]WeightedEdge, cfg Config) (*Result, error) {
 	if g.NumVertices() == 0 {
 		return &Result{Cover: cover.New(0)}, nil
 	}

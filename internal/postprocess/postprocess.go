@@ -37,6 +37,20 @@ import (
 // reads the propagation result without depending on a concrete state type.
 type LabelSeq func(v uint32) []uint32
 
+// GraphView is the read-only graph access extraction needs. *graph.Graph
+// implements it, and so does the streaming service's copy-on-write
+// snapshot view — extraction never mutates the graph, so any frozen view
+// with the same deterministic iteration order works. ForEachEdge must
+// visit each undirected edge exactly once with the same order for equal
+// graphs (ascending u, adjacency order) for results to stay bit-identical
+// across views.
+type GraphView interface {
+	NumVertices() int
+	NumEdges() int
+	Vertices() []graph.VertexID
+	ForEachEdge(fn func(u, v graph.VertexID))
+}
+
 // WeightMetric selects how the label-distribution similarity of two
 // adjacent vertices is computed. The paper describes the weight as "the
 // probability of getting the same label from Li and Lj ... obtained by just
@@ -143,7 +157,7 @@ func CommonRuns(a, b []uint32, metric WeightMetric) uint64 {
 
 // EdgeWeights computes w_ij for every edge of g from the label sequences
 // using the given metric. Weights are in [0, 1].
-func EdgeWeights(g *graph.Graph, labels LabelSeq, metric WeightMetric) []WeightedEdge {
+func EdgeWeights(g GraphView, labels LabelSeq, metric WeightMetric) []WeightedEdge {
 	// Run-length encode each vertex's sorted label sequence once.
 	encoded := make(map[uint32][]uint32, g.NumVertices())
 	encode := func(v uint32) []uint32 {
@@ -206,7 +220,7 @@ func Tau2Of(edges []WeightedEdge) float64 {
 
 // Extract runs the full post-processing pipeline on a graph and its label
 // sequences.
-func Extract(g *graph.Graph, labels LabelSeq, cfg Config) (*Result, error) {
+func Extract(g GraphView, labels LabelSeq, cfg Config) (*Result, error) {
 	if g.NumVertices() == 0 {
 		return &Result{Cover: cover.New(0)}, nil
 	}
@@ -216,7 +230,7 @@ func Extract(g *graph.Graph, labels LabelSeq, cfg Config) (*Result, error) {
 
 // ExtractFromWeights is Extract for callers that already computed (or
 // obtained from the distributed engine) the edge weights.
-func ExtractFromWeights(g *graph.Graph, edges []WeightedEdge, cfg Config) (*Result, error) {
+func ExtractFromWeights(g GraphView, edges []WeightedEdge, cfg Config) (*Result, error) {
 	tau2 := cfg.Tau2
 	if tau2 == 0 {
 		tau2 = Tau2Of(edges)
@@ -249,7 +263,7 @@ func MaxWeight(edges []WeightedEdge) float64 {
 // evaluated canonically (see selectTau1Sweep). This is the master half of
 // the distributed post-processing: workers ship forests and candidates, the
 // master assembles.
-func ExtractFromForest(g *graph.Graph, conn, attach []WeightedEdge, tau2, maxWeight float64, cfg Config) (*Result, error) {
+func ExtractFromForest(g GraphView, conn, attach []WeightedEdge, tau2, maxWeight float64, cfg Config) (*Result, error) {
 	res := &Result{}
 	res.Tau2 = tau2
 

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"rslpa/internal/dynamic"
 	"rslpa/internal/graph"
 	"rslpa/internal/lfr"
+	"rslpa/internal/postprocess"
 )
 
 // BenchmarkStreamServe measures the serving workload end to end: four
@@ -125,5 +127,45 @@ func BenchmarkStreamServe(b *testing.B) {
 			b.ReportMetric(float64(len(all)), "queries")
 		}
 		b.ReportMetric(float64(stats.Batches), "batches")
+	}
+}
+
+// BenchmarkSnapshotPublish measures the copy-on-write publication path in
+// isolation across graph size × batch size: apply one canonical batch,
+// then time republishing the resulting snapshot from its predecessor.
+// Reported metrics pin the tentpole economics — shards republished versus
+// total shards, and the cost of the full clone the COW path replaces —
+// and the CI smoke emits them as BENCH_snapshot.json.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	for _, n := range []uint32{10_000, 100_000} {
+		st := ringState(b, n, 3)
+		for _, batchSize := range []int{2, 64, 512} {
+			b.Run(fmt.Sprintf("n=%d/batch=%d", n, batchSize), func(b *testing.B) {
+				// One batch of inserts spread over the ring: endpoints
+				// land in batchSize distinct regions, the worst case for
+				// a given batch size.
+				work := st.Clone()
+				var edits []graph.Edit
+				for i := 0; i < batchSize; i++ {
+					u := uint32(i) * (n / uint32(batchSize))
+					edits = append(edits, graph.Edit{Op: graph.Insert, U: u, V: (u + n/2) % n})
+				}
+				wdet := seqDet{work}
+				prev := newSnapshot(0, wdet, postprocess.Config{}, core.UpdateStats{})
+				stats := work.Update(graph.Canonicalize(work.Graph(), edits))
+
+				var sn *Snapshot
+				b.ResetTimer()
+				for range b.N {
+					sn = nextSnapshot(prev, wdet, stats.Dirty, stats)
+				}
+				b.StopTimer()
+				f0 := time.Now()
+				newSnapshot(sn.Epoch(), wdet, postprocess.Config{}, stats)
+				b.ReportMetric(float64(time.Since(f0).Microseconds()), "fullclone-us")
+				b.ReportMetric(float64(sn.ShardsRepublished()), "shards-republished")
+				b.ReportMetric(float64(sn.NumShards()), "shards-total")
+			})
+		}
 	}
 }

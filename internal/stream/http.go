@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,8 +24,18 @@ const maxEditBody = 16 << 20
 //	GET  /communities  the current snapshot's cover with its epoch
 //	GET  /vertex/{v}   membership and degree of one vertex
 //	                   (?labels=1 includes the raw label sequence)
-//	GET  /stats        operational counters (see Stats)
+//	GET  /stats        operational counters (see Stats), including the
+//	                   COW publication meters last_publish_micros,
+//	                   shards_republished and snapshot_shards
 //	GET  /healthz      200 while the service accepts edits, 503 after Close
+//
+// Failure semantics of POST /edits: after a detector failure the service
+// latches — Submit still accepts edits (202 without ?wait), but batches
+// are no longer applied and a ?wait=1 drain reports the latched error
+// with 503. The edits were nonetheless swallowed by the latched queue,
+// so the 503 body carries the "accepted" count alongside the error
+// detail; a client must not infer from the status alone that nothing was
+// consumed. Oversized bodies (> 16 MiB) are rejected with 413.
 
 // editJSON is the wire form of one edge edit.
 type editJSON struct {
@@ -68,6 +79,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func (s *Service) handleEdits(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEditBody))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("read body: %w", err))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 		return
 	}
@@ -102,7 +118,14 @@ func (s *Service) handleEdits(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"accepted": len(edits), "queue_depth": len(s.in)}
 	if r.URL.Query().Get("wait") != "" {
 		if err := s.Drain(); err != nil {
-			writeError(w, http.StatusServiceUnavailable, err)
+			// The edits were accepted before the drain failed (the
+			// service latches; see the comment block above), so the
+			// error body must still carry the accepted count next to
+			// the failure detail.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":    err.Error(),
+				"accepted": len(edits),
+			})
 			return
 		}
 		resp["epoch"] = s.snap.Load().Epoch()

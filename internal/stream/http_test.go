@@ -174,3 +174,65 @@ func TestHTTPRejectsMalformedEdits(t *testing.T) {
 		t.Fatalf("non-JSON body: %d", code)
 	}
 }
+
+func TestHTTPOversizedBodyIs413(t *testing.T) {
+	_, srv := newHTTPService(t)
+	// One byte past the 16 MiB cap: the read hits MaxBytesReader's limit
+	// and the handler must answer 413, not the generic 400. Padding with
+	// spaces keeps the body cheap to build and syntactically irrelevant —
+	// the size check fires before any JSON is parsed.
+	body := strings.Repeat(" ", maxEditBody) + `[]`
+	resp, err := http.Post(srv.URL+"/edits", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: code=%d, want 413", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decode 413 body: %v", err)
+	}
+	if e.Error == "" {
+		t.Fatal("413 body has no error detail")
+	}
+}
+
+func TestHTTPWaitOnLatchedServiceReportsAccepted(t *testing.T) {
+	st, err := core.Run(testGraph(), core.Config{T: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	s, err := New(failDet{seqDet{st}, &calls}, Options{FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { srv.Close(); s.Close() })
+
+	var post map[string]any
+	if code := postJSON(t, srv.URL+"/edits?wait=1", `[{"op":"insert","u":0,"v":5}]`, &post); code != http.StatusAccepted {
+		t.Fatalf("first edit: %d", code) // first update succeeds, detector fails after
+	}
+	var e struct {
+		Error    string `json:"error"`
+		Accepted *int   `json:"accepted"`
+	}
+	code := postJSON(t, srv.URL+"/edits?wait=1",
+		`[{"op":"insert","u":1,"v":5},{"op":"insert","u":2,"v":5}]`, &e)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("latching edit: code=%d, want 503", code)
+	}
+	// The edits were swallowed by the latched queue before the drain
+	// failed; the error body must say how many, plus the failure detail.
+	if e.Accepted == nil || *e.Accepted != 2 {
+		t.Fatalf("503 body accepted=%v, want 2", e.Accepted)
+	}
+	if !strings.Contains(e.Error, "detector update failed") || !strings.Contains(e.Error, "synthetic engine failure") {
+		t.Fatalf("503 body error lacks latch detail: %q", e.Error)
+	}
+}

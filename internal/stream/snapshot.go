@@ -8,20 +8,50 @@ import (
 	"rslpa/internal/postprocess"
 )
 
-// Snapshot is an immutable, epoch-versioned view of the detection state:
-// a frozen copy of the graph and the full label matrix taken atomically
-// between batches. Everything a query can ask — labels, communities,
-// membership — is answered from the frozen copies, so a snapshot stays
-// internally consistent no matter how far the live detector advances, and
-// readers on one snapshot share a single memoized extraction.
+// snapShard is one immutable shard of a snapshot: the frozen adjacency of
+// the vertices in its ID range plus their frozen label rows, indexed by
+// the same local offset. Shards are never mutated after construction, so
+// consecutive snapshots share every shard the intervening batch did not
+// dirty.
+type snapShard struct {
+	adj    *graph.AdjShard
+	labels [][]uint32 // labels[v-base]; nil for absent vertex IDs
+}
+
+// cloneShard freezes snapshot shard idx of det's current state: the
+// adjacency via graph.CloneShard and a private copy of every present
+// vertex's label sequence.
+func cloneShard(det Detector, g *graph.Graph, idx int) *snapShard {
+	a := g.CloneShard(idx)
+	sh := &snapShard{adj: a, labels: make([][]uint32, len(a.Exists))}
+	for off, ok := range a.Exists {
+		if ok {
+			sh.labels[off] = append([]uint32(nil), det.Labels(a.Base+uint32(off))...)
+		}
+	}
+	return sh
+}
+
+// Snapshot is an immutable, epoch-versioned view of the detection state,
+// published copy-on-write: the dense vertex ID space is cut into
+// fixed-size shards (graph.ShardSize IDs each) and a snapshot is an epoch
+// plus an immutable slice of shard pointers. Publishing epoch N+1 clones
+// only the shards covering the batch's dirty vertices
+// (core.UpdateStats.Dirty — effective-edit endpoints plus everything
+// correction propagation touched); every clean shard is shared
+// structurally with epoch N. Everything a query can ask — labels,
+// communities, membership — is answered from the frozen shards, so a
+// snapshot stays internally consistent no matter how far the live
+// detector advances, and readers on one snapshot share a single memoized
+// extraction.
 type Snapshot struct {
-	epoch uint64
-	g     *graph.Graph
-	// labels[v] is a private copy of vertex v's label sequence; nil for
-	// absent vertex IDs.
-	labels [][]uint32
+	epoch  uint64
+	shards []*snapShard
+	nv, ne int // vertex/edge totals, summed from the shards at publish
 	pcfg   postprocess.Config
 	last   core.UpdateStats // the batch that produced this epoch
+
+	republished int // shards cloned to publish this snapshot
 
 	once   sync.Once
 	res    *postprocess.Result
@@ -29,15 +59,78 @@ type Snapshot struct {
 	err    error
 }
 
-// newSnapshot freezes det's current state. It must only be called from the
-// maintenance goroutine (or before the service starts), between batches.
+// newSnapshot freezes det's current state in full (every shard cloned):
+// the epoch-0 bootstrap and the fallback when no dirty set is available.
+// It must only be called from the maintenance goroutine (or before the
+// service starts), between batches.
 func newSnapshot(epoch uint64, det Detector, pcfg postprocess.Config, last core.UpdateStats) *Snapshot {
-	g := det.Graph().Clone()
-	labels := make([][]uint32, g.MaxVertexID())
-	g.ForEachVertex(func(v uint32) {
-		labels[v] = append([]uint32(nil), det.Labels(v)...)
-	})
-	return &Snapshot{epoch: epoch, g: g, labels: labels, pcfg: pcfg, last: last}
+	g := det.Graph()
+	sn := &Snapshot{
+		epoch:  epoch,
+		shards: make([]*snapShard, graph.NumShards(g.MaxVertexID())),
+		pcfg:   pcfg,
+		last:   last,
+	}
+	for i := range sn.shards {
+		sn.shards[i] = cloneShard(det, g, i)
+	}
+	sn.republished = len(sn.shards)
+	sn.total()
+	return sn
+}
+
+// nextSnapshot publishes det's state after one applied batch as a
+// copy-on-write successor of prev: only the shards covering dirty
+// vertices (plus any shards the ID space grew into) are recloned, the
+// rest are shared with prev. The caller guarantees dirty covers every
+// vertex whose adjacency or labels changed — for the library detectors
+// that is UpdateStats.Dirty, pinned by the epoch-hash-equivalence tests.
+func nextSnapshot(prev *Snapshot, det Detector, dirty []uint32, last core.UpdateStats) *Snapshot {
+	g := det.Graph()
+	sn := &Snapshot{
+		epoch:  prev.epoch + 1,
+		shards: make([]*snapShard, graph.NumShards(g.MaxVertexID())),
+		pcfg:   prev.pcfg,
+		last:   last,
+	}
+	copy(sn.shards, prev.shards) // ID space never shrinks
+	reclone := make(map[int]struct{})
+	for _, v := range dirty {
+		reclone[graph.ShardOf(v)] = struct{}{}
+	}
+	// Shards beyond prev's coverage are new; their vertices are dirty by
+	// construction (they were just created), but be explicit.
+	for i := len(prev.shards); i < len(sn.shards); i++ {
+		reclone[i] = struct{}{}
+	}
+	for i := range reclone {
+		sn.shards[i] = cloneShard(det, g, i)
+	}
+	sn.republished = len(reclone)
+	sn.total()
+	return sn
+}
+
+// total sums the per-shard tallies into the snapshot's vertex and edge
+// counts: O(#shards), not O(n). Each undirected edge contributes one
+// half-edge at each endpoint's shard (endpoints always go dirty
+// together, so the halves stay symmetric across republishes).
+func (sn *Snapshot) total() {
+	half := 0
+	for _, sh := range sn.shards {
+		sn.nv += sh.adj.Present
+		half += sh.adj.HalfEdges
+	}
+	sn.ne = half / 2
+}
+
+// shardFor returns the shard covering v, or nil when v is beyond the
+// snapshot's ID space.
+func (sn *Snapshot) shardFor(v uint32) *snapShard {
+	if i := graph.ShardOf(v); i < len(sn.shards) {
+		return sn.shards[i]
+	}
+	return nil
 }
 
 // Epoch returns the number of batches applied before this snapshot was
@@ -45,16 +138,33 @@ func newSnapshot(epoch uint64, det Detector, pcfg postprocess.Config, last core.
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
 
 // NumVertices reports the snapshot graph's vertex count.
-func (sn *Snapshot) NumVertices() int { return sn.g.NumVertices() }
+func (sn *Snapshot) NumVertices() int { return sn.nv }
 
 // NumEdges reports the snapshot graph's edge count.
-func (sn *Snapshot) NumEdges() int { return sn.g.NumEdges() }
+func (sn *Snapshot) NumEdges() int { return sn.ne }
+
+// NumShards reports how many fixed-size shards cover the snapshot's
+// vertex ID space.
+func (sn *Snapshot) NumShards() int { return len(sn.shards) }
+
+// ShardsRepublished reports how many shards were cloned (rather than
+// shared with the previous epoch) to publish this snapshot — the
+// publication cost of its batch, in units of graph.ShardSize ID ranges.
+func (sn *Snapshot) ShardsRepublished() int { return sn.republished }
 
 // HasVertex reports whether v is present in the snapshot.
-func (sn *Snapshot) HasVertex(v uint32) bool { return sn.g.HasVertex(v) }
+func (sn *Snapshot) HasVertex(v uint32) bool {
+	sh := sn.shardFor(v)
+	return sh != nil && sh.adj.Has(v)
+}
 
 // Degree returns v's degree in the snapshot (0 if absent).
-func (sn *Snapshot) Degree(v uint32) int { return sn.g.Degree(v) }
+func (sn *Snapshot) Degree(v uint32) int {
+	if sh := sn.shardFor(v); sh != nil {
+		return sh.adj.Degree(v)
+	}
+	return 0
+}
 
 // UpdateStats returns the detector work of the batch that produced this
 // epoch (zero for epoch 0).
@@ -63,16 +173,52 @@ func (sn *Snapshot) UpdateStats() core.UpdateStats { return sn.last }
 // Labels returns v's frozen label sequence (length T+1), or nil for
 // absent vertices. The slice is owned by the snapshot; do not mutate it.
 func (sn *Snapshot) Labels(v uint32) []uint32 {
-	if int(v) >= len(sn.labels) || !sn.g.HasVertex(v) {
+	sh := sn.shardFor(v)
+	if sh == nil || !sh.adj.Has(v) {
 		return nil
 	}
-	return sn.labels[v]
+	return sh.labels[v-sh.adj.Base]
+}
+
+// Vertices returns the present vertex IDs in ascending order
+// (postprocess.GraphView).
+func (sn *Snapshot) Vertices() []uint32 {
+	vs := make([]uint32, 0, sn.nv)
+	for _, sh := range sn.shards {
+		for off, ok := range sh.adj.Exists {
+			if ok {
+				vs = append(vs, sh.adj.Base+uint32(off))
+			}
+		}
+	}
+	return vs
+}
+
+// ForEachEdge calls fn once per undirected edge with the exact iteration
+// order of graph.Graph.ForEachEdge on the underlying graph (ascending u,
+// frozen adjacency order, u < v filter) — the property that keeps
+// snapshot extraction bit-identical to extraction on a full graph clone
+// (postprocess.GraphView).
+func (sn *Snapshot) ForEachEdge(fn func(u, v uint32)) {
+	for _, sh := range sn.shards {
+		for off, ok := range sh.adj.Exists {
+			if !ok {
+				continue
+			}
+			u := sh.adj.Base + uint32(off)
+			for _, v := range sh.adj.Adj[off] {
+				if u < v {
+					fn(u, v)
+				}
+			}
+		}
+	}
 }
 
 // Communities extracts the snapshot's overlapping communities. The first
 // caller pays for extraction; every later call on the same snapshot —
 // including Membership — returns the memoized result. Extraction runs on
-// the frozen copies, entirely on the reader side: it never blocks the
+// the frozen shards, entirely on the reader side: it never blocks the
 // maintenance goroutine and, for a distributed detector, never touches the
 // cluster engine (the sequential extraction is bit-identical to the
 // distributed one by the postprocessing equivalence tests).
@@ -93,7 +239,7 @@ func (sn *Snapshot) Membership(v uint32) ([]int, error) {
 
 func (sn *Snapshot) extract() {
 	sn.once.Do(func() {
-		sn.res, sn.err = postprocess.Extract(sn.g, sn.Labels, sn.pcfg)
+		sn.res, sn.err = postprocess.Extract(sn, sn.Labels, sn.pcfg)
 		if sn.err == nil {
 			sn.member = sn.res.Cover.Membership()
 		}

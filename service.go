@@ -143,6 +143,15 @@ func (s Snapshot) NumVertices() int { return s.sn.NumVertices() }
 // NumEdges reports the snapshot graph's edge count.
 func (s Snapshot) NumEdges() int { return s.sn.NumEdges() }
 
+// NumShards reports how many fixed-size shards cover the snapshot's
+// vertex ID space (snapshots are published copy-on-write, one shard at
+// a time; see internal/stream).
+func (s Snapshot) NumShards() int { return s.sn.NumShards() }
+
+// ShardsRepublished reports how many shards were cloned (rather than
+// shared with the previous epoch) to publish this snapshot.
+func (s Snapshot) ShardsRepublished() int { return s.sn.ShardsRepublished() }
+
 // HasVertex reports whether v is present in the snapshot.
 func (s Snapshot) HasVertex(v uint32) bool { return s.sn.HasVertex(v) }
 
