@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
 // (Section V) at laptop scale. Each bench corresponds to one experiment in
-// DESIGN.md's per-experiment index; `go run ./cmd/repro -exp <id>` prints
+// README.md's reproduction section; `go run ./cmd/repro -exp <id>` prints
 // the full series, while these targets make the same measurements available
 // to `go test -bench`.
 //
@@ -70,6 +70,7 @@ func fixtures(b *testing.B) {
 // (substitute) web dataset.
 func BenchmarkTable2WebGraphStats(b *testing.B) {
 	fixtures(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := fixWeb.ComputeStats()
 		if s.Vertices != benchWebSize {
@@ -83,6 +84,7 @@ func BenchmarkTable2WebGraphStats(b *testing.B) {
 // Figure 7a.
 func BenchmarkFig7aConvergence(b *testing.B) {
 	fixtures(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		st, err := core.Run(fixLFR.Graph, core.Config{T: 200, Seed: uint64(i)})
 		if err != nil {
@@ -100,6 +102,7 @@ func fig7Point(b *testing.B, mutate func(*lfr.Params)) {
 	p := lfr.Default(benchLFRSize)
 	p.AvgDeg, p.MaxDeg, p.On = 15, 50, benchLFRSize/10
 	mutate(&p)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p.Seed = uint64(i + 1)
 		res, err := lfr.Generate(p)
@@ -137,6 +140,7 @@ func BenchmarkFig7fVaryOn(b *testing.B) { fig7Point(b, func(p *lfr.Params) { p.O
 // distributed engine: label propagation plus thresholding.
 func BenchmarkFig8StaticRuntimeSLPA(b *testing.B) {
 	fixtures(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eng, err := cluster.New(cluster.Config{Workers: 4})
 		if err != nil {
@@ -159,6 +163,7 @@ func BenchmarkFig8StaticRuntimeSLPA(b *testing.B) {
 // distributed post-processing.
 func BenchmarkFig8StaticRuntimeRSLPA(b *testing.B) {
 	fixtures(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eng, err := cluster.New(cluster.Config{Workers: 4})
 		if err != nil {
@@ -193,6 +198,7 @@ func BenchmarkPostprocessWireBytes(b *testing.B) {
 	// funnel), modeled by the same helper the regression test uses.
 	naive := dist.NaivePostprocessBytes(g, cluster.Partitioner{P: workers}, T)
 
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eng, err := cluster.New(cluster.Config{Workers: workers})
 		if err != nil {
@@ -241,6 +247,7 @@ func BenchmarkFig9IncrementalBatch10000(b *testing.B) { benchFig9(b, 10000) }
 // Algorithm 1 on the updated graph.
 func BenchmarkFig9Scratch(b *testing.B) {
 	fixtures(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(fixWeb, core.Config{T: benchT, Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
@@ -253,6 +260,7 @@ func BenchmarkFig9Scratch(b *testing.B) {
 func BenchmarkComplexityModel(b *testing.B) {
 	fixtures(b)
 	stats := fixWeb.ComputeStats()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		st := fixBase.Clone()
@@ -274,6 +282,7 @@ func BenchmarkComplexityModel(b *testing.B) {
 func BenchmarkAblationMessages(b *testing.B) {
 	fixtures(b)
 	const T = 5
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		engR, err := cluster.New(cluster.Config{Workers: 4})
 		if err != nil {
@@ -305,13 +314,14 @@ func BenchmarkAblationMessages(b *testing.B) {
 }
 
 // BenchmarkAblationWeightMetric compares the two weight definitions'
-// extraction quality (see DESIGN.md §4).
+// extraction quality (see README.md's post-processing notes).
 func BenchmarkAblationWeightMetric(b *testing.B) {
 	fixtures(b)
 	st, err := core.Run(fixLFR.Graph, core.Config{T: 200, Seed: 3})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, metric := range []postprocess.WeightMetric{postprocess.Intersection, postprocess.SameLabelProbability} {
@@ -339,6 +349,7 @@ func BenchmarkAblationTauSweep(b *testing.B) {
 	}
 	edges := postprocess.EdgeWeights(st.Graph(), st.Labels, postprocess.Intersection)
 	b.Run("ExactSweep", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := postprocess.ExtractFromWeights(st.Graph(), edges, postprocess.Config{}); err != nil {
 				b.Fatal(err)
@@ -346,6 +357,7 @@ func BenchmarkAblationTauSweep(b *testing.B) {
 		}
 	})
 	b.Run("Grid0.001", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := postprocess.ExtractFromWeights(st.Graph(), edges, postprocess.Config{GridStep: 0.001}); err != nil {
 				b.Fatal(err)
@@ -384,6 +396,7 @@ func BenchmarkNMI(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nmi.Compare(pp.Cover, fixLFR.Truth, benchLFRSize)
@@ -439,6 +452,7 @@ func BenchmarkUpdate(b *testing.B) {
 					b.Fatal(err)
 				}
 				dense := 1 + 3*T
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
@@ -472,6 +486,7 @@ func BenchmarkUpdate(b *testing.B) {
 func BenchmarkCheckpointSaveLoad(b *testing.B) {
 	fixtures(b)
 	const workers = 4
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		eng, err := cluster.New(cluster.Config{Workers: workers})

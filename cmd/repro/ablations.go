@@ -60,7 +60,8 @@ func runMessages(o options) {
 }
 
 // runWeights is the ablation for the edge-weight metric choice documented
-// in DESIGN.md: histogram intersection (our reading of the paper's
+// in README.md's reproduction section: histogram intersection (our
+// reading of the paper's
 // "counting the common labels") vs the literal same-label collision
 // probability.
 func runWeights(o options) {

@@ -1,7 +1,8 @@
 // Command repro regenerates every table and figure of the paper's
 // evaluation (Section V) plus the model-validation and ablation studies
-// listed in DESIGN.md. Each experiment prints the same rows/series the
-// paper reports; EXPERIMENTS.md records paper-vs-measured values.
+// described in README.md's reproduction section. Each experiment prints
+// the same rows/series the paper reports; EXPERIMENTS.md records
+// paper-vs-measured values.
 //
 // Usage:
 //
@@ -9,9 +10,10 @@
 //	repro -exp all                   # everything
 //	repro -exp fig9 -webn 50000      # bigger substitute web graph
 //	repro -exp fig7a -scale 5        # shrink LFR sizes 5x for quick runs
+//	repro -exp snap -snapdir data/snap  # gauntlet on real SNAP downloads
 //
 // Experiments: table1 fig7a fig7b fig7c fig7d fig7e fig7f table2 fig8 fig9
-// model messages weights sweep checkpoint.
+// model messages weights sweep checkpoint snap.
 package main
 
 import (
@@ -31,6 +33,10 @@ type options struct {
 	webN    int    // web-graph substitute size (fig8/fig9/table2)
 	rslpaT  int    // rSLPA iterations
 	slpaT   int    // SLPA iterations
+
+	snapDir   string // SNAP dataset directory (snap gauntlet)
+	snapBatch int    // streamed edges per Update batch (snap gauntlet)
+	snapOut   string // JSON artifact path (snap gauntlet)
 }
 
 type experiment struct {
@@ -50,6 +56,9 @@ func main() {
 	flag.IntVar(&o.webN, "webn", 20000, "web-graph substitute vertices (paper dataset: 6.65M)")
 	flag.IntVar(&o.rslpaT, "rslpaT", 200, "rSLPA iterations")
 	flag.IntVar(&o.slpaT, "slpaT", 100, "SLPA iterations")
+	flag.StringVar(&o.snapDir, "snapdir", "testdata/snap", "SNAP dataset directory for -exp snap")
+	flag.IntVar(&o.snapBatch, "snapbatch", 50, "streamed edges per batch for -exp snap")
+	flag.StringVar(&o.snapOut, "snapout", "BENCH_snap.json", "JSON artifact path for -exp snap")
 	flag.Parse()
 
 	exps := []experiment{
@@ -68,6 +77,7 @@ func main() {
 		{"weights", "ablation: edge-weight metric choice", runWeights},
 		{"sweep", "ablation: τ1 exact sweep vs 0.001 grid", runSweep},
 		{"checkpoint", "shard-parallel save/load and cross-P restore", runCheckpoint},
+		{"snap", "real-dataset gauntlet: stream SNAP graphs, score vs ground truth", runSnap},
 	}
 	byName := make(map[string]experiment, len(exps))
 	names := make([]string, 0, len(exps))

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"strings"
+	"time"
+
+	"rslpa/internal/core"
+	"rslpa/internal/graph"
+	"rslpa/internal/nmi"
+	"rslpa/internal/postprocess"
+	"rslpa/internal/snap"
+)
+
+// runSnap is the real-dataset gauntlet: for every SNAP-format dataset in
+// -snapdir (edge list + ground-truth communities; the committed fixtures
+// under testdata/snap by default, or the real com-Amazon/com-DBLP/
+// com-YouTube downloads from scripts/fetch_snap.sh), it
+//
+//  1. bootstraps rSLPA on the first 80% of the edges,
+//  2. streams the remaining 20% through State.Update in fixed-size
+//     batches, measuring per-batch latency (p50/p99), allocations per
+//     batch, and the touched-labels work η,
+//  3. extracts communities and scores them against the ground truth with
+//     NMI, Omega and AverageF1.
+//
+// Results print as a table and are archived to -snapout (BENCH_snap.json)
+// in the same shape as the other CI bench artifacts.
+func runSnap(o options) {
+	type row struct {
+		Name           string  `json:"name"`
+		Vertices       int     `json:"vertices"`
+		Edges          int     `json:"edges"`
+		Communities    int     `json:"truth_communities"`
+		BatchSize      int     `json:"batch_size"`
+		Batches        int     `json:"batches"`
+		UpdateP50Ns    int64   `json:"update_p50_ns"`
+		UpdateP99Ns    int64   `json:"update_p99_ns"`
+		AllocsPerBatch float64 `json:"allocs_per_batch"`
+		TouchedPerOp   float64 `json:"touched_per_batch"`
+		NMI            float64 `json:"nmi"`
+		Omega          float64 `json:"omega"`
+		AvgF1          float64 `json:"avg_f1"`
+	}
+
+	pairs, err := discoverSnap(o.snapDir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pairs) == 0 {
+		fatal(fmt.Errorf("no *.ungraph.txt[.gz] datasets in %s", o.snapDir))
+	}
+
+	var rows []row
+	for _, p := range pairs {
+		d, err := snap.Load(p.edges, p.truth)
+		if err != nil {
+			fatal(err)
+		}
+		name := strings.TrimSuffix(strings.TrimSuffix(filepath.Base(p.edges), ".gz"), ".ungraph.txt")
+		fmt.Printf("%s: %d vertices, %d edges, %d truth communities (%d dropped as trimmed)\n",
+			name, d.N, len(d.Edges), d.Truth.Len(), d.TruthDropped)
+
+		// Bootstrap on the first 80% of the edges, stream the rest.
+		split := len(d.Edges) * 4 / 5
+		g := graph.New()
+		for _, e := range d.Edges[:split] {
+			g.AddEdge(e[0], e[1])
+		}
+		st, err := core.Run(g, core.Config{T: o.rslpaT, Seed: o.seed})
+		if err != nil {
+			fatal(err)
+		}
+
+		batchSize := o.snapBatch
+		var lats []int64
+		var touched int
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for lo := split; lo < len(d.Edges); lo += batchSize {
+			hi := min(lo+batchSize, len(d.Edges))
+			batch := make([]graph.Edit, 0, hi-lo)
+			for _, e := range d.Edges[lo:hi] {
+				batch = append(batch, graph.Edit{Op: graph.Insert, U: e[0], V: e[1]})
+			}
+			t0 := time.Now()
+			stats := st.Update(batch)
+			lats = append(lats, time.Since(t0).Nanoseconds())
+			touched += stats.Touched
+		}
+		runtime.ReadMemStats(&m1)
+		slices.Sort(lats)
+		nb := len(lats)
+
+		var sc postprocess.ExtractScratch
+		res, err := sc.Extract(st.Graph(), st.Labels, postprocess.Config{})
+		if err != nil {
+			fatal(err)
+		}
+
+		r := row{
+			Name:        "snap/" + name,
+			Vertices:    d.N,
+			Edges:       len(d.Edges),
+			Communities: d.Truth.Len(),
+			BatchSize:   batchSize,
+			Batches:     nb,
+			UpdateP50Ns: lats[nb/2],
+			UpdateP99Ns: lats[min(nb*99/100, nb-1)],
+			// Whole-stream malloc delta over the batch count; includes the
+			// batch construction above, so it upper-bounds Update's own.
+			AllocsPerBatch: float64(m1.Mallocs-m0.Mallocs) / float64(nb),
+			TouchedPerOp:   float64(touched) / float64(nb),
+			NMI:            nmi.Compare(res.Cover, d.Truth, d.N),
+			Omega:          nmi.Omega(res.Cover, d.Truth, d.N),
+			AvgF1:          nmi.AverageF1(res.Cover, d.Truth),
+		}
+		rows = append(rows, r)
+		fmt.Printf("  stream: %d batches of %d; update p50=%s p99=%s, %.0f allocs/batch, η=%.0f/batch\n",
+			r.Batches, r.BatchSize, time.Duration(r.UpdateP50Ns), time.Duration(r.UpdateP99Ns),
+			r.AllocsPerBatch, r.TouchedPerOp)
+		fmt.Printf("  quality: %d communities found; NMI=%.4f Omega=%.4f AvgF1=%.4f (τ1=%.3f τ2=%.3f)\n",
+			res.Cover.Len(), r.NMI, r.Omega, r.AvgF1, res.Tau1, res.Tau2)
+	}
+
+	out, err := json.Marshal(rows)
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(o.snapOut, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", o.snapOut)
+}
+
+// snapPair is one dataset: its edge list and (optional) ground truth.
+type snapPair struct {
+	edges string
+	truth string
+}
+
+// discoverSnap pairs every *.ungraph.txt[.gz] in dir with its
+// *.top5000.cmty.txt[.gz] ground truth, sorted by name.
+func discoverSnap(dir string) ([]snapPair, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snap dir: %w", err)
+	}
+	var pairs []snapPair
+	for _, e := range entries {
+		name := e.Name()
+		base, ok := strings.CutSuffix(strings.TrimSuffix(name, ".gz"), ".ungraph.txt")
+		if !ok || e.IsDir() {
+			continue
+		}
+		p := snapPair{edges: filepath.Join(dir, name)}
+		for _, cand := range []string{base + ".top5000.cmty.txt", base + ".top5000.cmty.txt.gz"} {
+			if _, err := os.Stat(filepath.Join(dir, cand)); err == nil {
+				p.truth = filepath.Join(dir, cand)
+				break
+			}
+		}
+		if p.truth == "" {
+			return nil, fmt.Errorf("snap: %s has no matching *.top5000.cmty.txt[.gz] ground truth", name)
+		}
+		pairs = append(pairs, p)
+	}
+	slices.SortFunc(pairs, func(a, b snapPair) int { return strings.Compare(a.edges, b.edges) })
+	return pairs, nil
+}

@@ -16,7 +16,8 @@ import (
 )
 
 func main() {
-	// A scaled-down stand-in for eu-2015-tpd (see DESIGN.md §2); raise N
+	// A scaled-down stand-in for eu-2015-tpd (see README.md's reproduction
+	// section); raise N
 	// to taste.
 	g, err := rslpa.GenerateWebGraph(rslpa.DefaultWebGraph(12000))
 	if err != nil {

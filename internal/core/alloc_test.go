@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+
+	"rslpa/internal/core"
+	"rslpa/internal/dynamic"
+	"rslpa/internal/lfr"
+)
+
+// TestUpdateSmallBatchAllocs pins the arena refactor's payoff: a warm
+// sequential State processes a small batch in a handful of allocations,
+// independent of graph size. The budget covers the unavoidable escapes —
+// UpdateStats.Dirty is freshly allocated every call because it outlives the
+// batch (stream snapshots keep it) — plus slack for map/slice growth noise.
+// Before the reusable arena this path cost ~75 allocs per Update; a value
+// anywhere near that again means the scratch state is being rebuilt per
+// batch.
+func TestUpdateSmallBatchAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 4000-vertex fixture")
+	}
+	res, err := lfr.Generate(lfr.Params{N: 4000, AvgDeg: 8, MaxDeg: 40, Mu: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Run(res.Graph, core.Config{T: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := dynamic.Batch(s.Graph(), 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := dynamic.Invert(batch)
+
+	// Warm the arena (first Update sizes the stamp arrays and queues), then
+	// measure an apply/undo pair so the graph returns to its start state
+	// every round and the arena stays at steady-state capacity.
+	s.Update(batch)
+	s.Update(inv)
+	avg := testing.AllocsPerRun(50, func() {
+		s.Update(batch)
+		s.Update(inv)
+	}) / 2
+
+	const budget = 7
+	if avg > budget {
+		t.Fatalf("sequential Update: %.1f allocs per small batch, budget %d", avg, budget)
+	}
+	t.Logf("sequential Update: %.1f allocs per small batch (budget %d)", avg, budget)
+}

@@ -1,0 +1,214 @@
+package core
+
+import "slices"
+
+// This file implements the reusable update arena: the scratch state Update
+// needs on every batch, persisted inside the State so the steady-state
+// incremental hot path allocates O(η) — proportional to the work the batch
+// actually causes — instead of O(n) or O(T) per call. Three tricks carry
+// the design:
+//
+//   - Generation stamping. The per-vertex stamp and seen arrays are never
+//     cleared; each Update bumps a generation counter and a slot is "set"
+//     only when it carries the current generation. Resetting is O(1), and
+//     the arrays grow monotonically with the vertex ID space.
+//   - Flat delta accumulation. The net neighbor delta of a batch is
+//     collected as a flat (vertex, neighbor, ±1) triple list, then sorted
+//     and merged in place — replacing the map-of-maps that dominated the
+//     old allocation profile. Sorting also yields the affected vertices in
+//     ascending order for free, with each vertex's delta a sorted
+//     contiguous run (the DeltaList the repick rules consume).
+//   - Queue pooling. The per-level dirty queues and every other slice are
+//     truncated to length zero after use, so their capacity is reused by
+//     the next batch.
+//
+// None of this changes any observable result: the repick streams are pure
+// functions of (seed, epoch, vertex, iteration), and the equivalence,
+// checkpoint and fuzz suites pin bit-identity with the distributed driver.
+
+// NbrDelta is one entry of a DeltaList: the net adjacency change of a
+// single neighbor within one batch (+1 added, -1 removed; exact
+// cancellations never appear).
+type NbrDelta struct {
+	Nbr uint32
+	D   int8
+}
+
+// DeltaList is one affected vertex's net neighbor delta, sorted by
+// ascending neighbor ID. It replaces the map[uint32]int8 the repick rules
+// used to consume: the sorted order makes the Category 3 arrival sequence
+// deterministic without a per-vertex sort, and lookups are binary searches.
+type DeltaList []NbrDelta
+
+// Of returns the delta recorded for neighbor u (0 when absent).
+func (dl DeltaList) Of(u uint32) int8 {
+	i, ok := slices.BinarySearchFunc(dl, u, func(e NbrDelta, t uint32) int {
+		if e.Nbr < t {
+			return -1
+		}
+		if e.Nbr > t {
+			return 1
+		}
+		return 0
+	})
+	if !ok {
+		return 0
+	}
+	return dl[i].D
+}
+
+// deltaEdge is one raw accumulation entry: vertex v's adjacency to u
+// changed by d. Two entries (one per endpoint) are recorded per effective
+// edit.
+type deltaEdge struct {
+	v, u uint32
+	d    int8
+}
+
+// DeltaAcc accumulates the net neighbor delta of a batch without maps.
+// Bump records raw entries; Finalize sorts and merges them, after which
+// ForEach visits each affected vertex in ascending ID order with its
+// sorted DeltaList. The zero value is ready to use, and Reset recycles the
+// backing arrays for the next batch. Shared with the distributed driver so
+// both Update paths stay map-free.
+type DeltaAcc struct {
+	entries []deltaEdge
+	dl      []NbrDelta // reusable DeltaList buffer for ForEach
+}
+
+// Reset discards the accumulated entries, keeping capacity.
+func (a *DeltaAcc) Reset() { a.entries = a.entries[:0] }
+
+// Bump records that v's adjacency to u changed by d.
+func (a *DeltaAcc) Bump(v, u uint32, d int8) {
+	a.entries = append(a.entries, deltaEdge{v: v, u: u, d: d})
+}
+
+// Finalize sorts the raw entries by (vertex, neighbor) and merges
+// duplicates, dropping exact cancellations — the semantics of the
+// map-of-maps it replaces.
+func (a *DeltaAcc) Finalize() {
+	slices.SortFunc(a.entries, func(x, y deltaEdge) int {
+		if x.v != y.v {
+			if x.v < y.v {
+				return -1
+			}
+			return 1
+		}
+		if x.u != y.u {
+			if x.u < y.u {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	out := a.entries[:0]
+	for i := 0; i < len(a.entries); {
+		j := i
+		sum := 0
+		for j < len(a.entries) && a.entries[j].v == a.entries[i].v && a.entries[j].u == a.entries[i].u {
+			sum += int(a.entries[j].d)
+			j++
+		}
+		if sum != 0 {
+			out = append(out, deltaEdge{v: a.entries[i].v, u: a.entries[i].u, d: int8(sum)})
+		}
+		i = j
+	}
+	a.entries = out
+}
+
+// ForEach visits each affected vertex in ascending ID order with its
+// sorted DeltaList. The list lives in the accumulator's reusable buffer
+// and is only valid within fn. Must be called after Finalize.
+func (a *DeltaAcc) ForEach(fn func(v uint32, dl DeltaList)) {
+	for i := 0; i < len(a.entries); {
+		j := i
+		for j < len(a.entries) && a.entries[j].v == a.entries[i].v {
+			j++
+		}
+		a.dl = a.dl[:0]
+		for _, e := range a.entries[i:j] {
+			a.dl = append(a.dl, NbrDelta{Nbr: e.u, D: e.d})
+		}
+		fn(a.entries[i].v, DeltaList(a.dl))
+		i = j
+	}
+}
+
+// updArena is the State's reusable Update scratch. All fields persist
+// across batches; begin() performs the O(1) generation reset.
+type updArena struct {
+	gen   uint32   // current generation (0 = never used)
+	stamp []uint64 // stamp[v] = gen<<32|level: v drained at level this batch
+	seen  []uint32 // seen[v] == gen: v already collected into dirtyBuf
+
+	dirtyBuf []uint32   // dirty vertices of the current batch (unsorted)
+	dirty    [][]uint32 // per-level pending-slot queues, reused
+	deltas   DeltaAcc   // batch net-delta accumulation
+	arrivals []uint32   // RepickPlan Category 3 arrival buffer
+}
+
+// begin starts a new batch: bump the generation (clearing stamp/seen in
+// O(1)) and make sure the per-level queues cover 1..T. On the
+// once-in-4-billion generation wraparound the stamp arrays are zeroed so
+// stale marks can never alias.
+func (a *updArena) begin(T int) {
+	a.gen++
+	if a.gen == 0 { // wrapped: hard-clear and restart at 1
+		clear(a.stamp)
+		clear(a.seen)
+		a.gen = 1
+	}
+	for len(a.dirty) < T+1 {
+		a.dirty = append(a.dirty, nil)
+	}
+	a.dirtyBuf = a.dirtyBuf[:0]
+	a.deltas.Reset()
+}
+
+// ensure grows the stamp arrays to cover n vertex IDs (new vertices can
+// appear mid-batch). Grown tails are zero, which no generation ≥ 1 ever
+// matches.
+func (a *updArena) ensure(n int) {
+	for len(a.stamp) < n {
+		a.stamp = append(a.stamp, 0)
+	}
+	for len(a.seen) < n {
+		a.seen = append(a.seen, 0)
+	}
+}
+
+// stampAt marks v drained at level t, reporting whether it was already
+// marked this batch (duplicate mark within the level).
+func (a *updArena) stampAt(v uint32, t int32) bool {
+	key := uint64(a.gen)<<32 | uint64(uint32(t))
+	if a.stamp[v] == key {
+		return false
+	}
+	a.stamp[v] = key
+	return true
+}
+
+// collect adds v to the batch's dirty set (idempotent per batch).
+func (a *updArena) collect(v uint32) {
+	if a.seen[v] == a.gen {
+		return
+	}
+	a.seen[v] = a.gen
+	a.dirtyBuf = append(a.dirtyBuf, v)
+}
+
+// finishDirty flattens the collected dirty set into the canonical
+// UpdateStats form: a freshly allocated ascending slice (it escapes into
+// snapshots), nil when empty.
+func (a *updArena) finishDirty() []uint32 {
+	if len(a.dirtyBuf) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(a.dirtyBuf))
+	copy(out, a.dirtyBuf)
+	slices.Sort(out)
+	return out
+}

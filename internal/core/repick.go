@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"rslpa/internal/rng"
 )
 
@@ -32,31 +30,33 @@ func InitialPick(cfg Config, v uint32, t int, nbrs []uint32) (src uint32, pos in
 // Slot for every label slot.
 type RepickPlan struct {
 	v        uint32
-	delta    map[uint32]int8
+	delta    DeltaList
 	newNbrs  []uint32
 	oldDeg   int
 	newDeg   int
 	nu       int      // |oldEff ∩ newEff| (Theorem 5's n_u)
 	arrivals []uint32 // newEff \ oldEff, in the order Category 3 indexes them
+	buf      []uint32 // the (possibly grown) caller buffer, for recycling
 	active   bool
 }
 
-// NewRepickPlan classifies vertex v's neighborhood change. delta maps
-// neighbor -> +1 (added) / -1 (removed), with exact cancellations already
-// dropped; newNbrs is the post-update adjacency in live (graph-owned) order,
-// which the category draws index into.
-func NewRepickPlan(v uint32, delta map[uint32]int8, newNbrs []uint32) RepickPlan {
-	p := RepickPlan{v: v, delta: delta, newNbrs: newNbrs, newDeg: len(newNbrs)}
-	added := make([]uint32, 0, len(delta))
+// NewRepickPlan classifies vertex v's neighborhood change. delta is the net
+// neighbor change (+1 added, -1 removed, sorted ascending, with exact
+// cancellations already dropped); newNbrs is the post-update adjacency in
+// live (graph-owned) order, which the category draws index into. buf is a
+// reusable scratch slice for the arrival list (may be nil); the possibly
+// grown buffer is kept in the plan so callers can recycle it via Buf.
+func NewRepickPlan(v uint32, delta DeltaList, newNbrs []uint32, buf []uint32) RepickPlan {
+	p := RepickPlan{v: v, delta: delta, newNbrs: newNbrs, newDeg: len(newNbrs), buf: buf[:0]}
 	removedCount := 0
-	for u, d := range delta {
-		if d > 0 {
-			added = append(added, u)
+	for _, e := range delta {
+		if e.D > 0 {
+			p.buf = append(p.buf, e.Nbr) // ascending: delta is sorted
 		} else {
 			removedCount++
 		}
 	}
-	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+	added := p.buf
 	p.oldDeg = p.newDeg - len(added) + removedCount
 
 	// Effective-set bookkeeping (N_eff = {v} when the vertex is isolated).
@@ -69,13 +69,18 @@ func NewRepickPlan(v uint32, delta map[uint32]int8, newNbrs []uint32) RepickPlan
 		p.arrivals = p.newNbrs // oldEff was {v}; every current neighbor is new
 	case p.oldDeg > 0 && p.newDeg == 0:
 		p.nu = 0
-		p.arrivals = []uint32{v} // newEff is {v}
+		p.buf = append(p.buf[:0], v) // newEff is {v}
+		p.arrivals = p.buf
 	default:
 		return p // {v} -> {v}: nothing changed
 	}
 	p.active = true
 	return p
 }
+
+// Buf returns the plan's scratch buffer (length zero) for reuse by the next
+// plan. It never aliases graph-owned adjacency.
+func (p *RepickPlan) Buf() []uint32 { return p.buf[:0] }
 
 // Active reports whether any slot of the vertex can need repicking.
 func (p *RepickPlan) Active() bool { return p.active }
@@ -88,7 +93,7 @@ func (p *RepickPlan) Slot(cfg Config, epoch uint64, t int32, oldSrc int32) (newS
 	removed := oldSrc < 0 || // fresh-vertex sentinel: must draw now
 		p.oldDeg == 0 || // src was the {v} placeholder, eff set replaced
 		p.newDeg == 0 || // all real neighbors gone
-		p.delta[uint32(oldSrc)] < 0 // picked through a deleted edge
+		p.delta.Of(uint32(oldSrc)) < 0 // picked through a deleted edge
 
 	switch {
 	case removed:

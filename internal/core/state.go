@@ -85,6 +85,11 @@ type State struct {
 	recv   [][]Record // records stored at the source vertex
 
 	epoch uint64 // update-batch counter, part of repick stream derivation
+
+	// arena is the reusable Update scratch (see arena.go). It carries no
+	// observable state — Clone deliberately leaves the copy's arena zero —
+	// so checkpoints and snapshots are unaffected.
+	arena updArena
 }
 
 // Run executes Algorithm 1 on g and returns the resulting State. The graph

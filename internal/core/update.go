@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"rslpa/internal/graph"
 )
@@ -54,20 +54,11 @@ type UpdateStats struct {
 func (s *State) Update(batch []graph.Edit) UpdateStats {
 	s.epoch++
 	var stats UpdateStats
+	a := &s.arena
+	a.begin(s.cfg.T)
 
 	// Phase 0: apply the batch, accumulating the *net* neighbor delta per
-	// vertex (+1 added, -1 removed; cancellations vanish).
-	delta := make(map[uint32]map[uint32]int8)
-	bump := func(v, u uint32, d int8) {
-		m := delta[v]
-		if m == nil {
-			m = make(map[uint32]int8)
-			delta[v] = m
-		}
-		if m[u] += d; m[u] == 0 {
-			delete(m, u)
-		}
-	}
+	// vertex (+1 added, -1 removed; cancellations vanish after Finalize).
 	for _, e := range batch {
 		switch e.Op {
 		case graph.Insert:
@@ -75,8 +66,8 @@ func (s *State) Update(batch []graph.Edit) UpdateStats {
 			s.growTo(e.V)
 			if s.g.AddEdge(e.U, e.V) {
 				stats.Inserted++
-				bump(e.U, e.V, 1)
-				bump(e.V, e.U, 1)
+				a.deltas.Bump(e.U, e.V, 1)
+				a.deltas.Bump(e.V, e.U, 1)
 				if s.labels[e.U] == nil {
 					s.initVertex(e.U)
 				}
@@ -87,50 +78,39 @@ func (s *State) Update(batch []graph.Edit) UpdateStats {
 		case graph.Delete:
 			if s.g.RemoveEdge(e.U, e.V) {
 				stats.Deleted++
-				bump(e.U, e.V, -1)
-				bump(e.V, e.U, -1)
+				a.deltas.Bump(e.U, e.V, -1)
+				a.deltas.Bump(e.V, e.U, -1)
 			}
 		}
 	}
+	a.deltas.Finalize()
+	a.ensure(len(s.labels)) // the batch may have grown the ID space
 
 	// Phase 1: handle adjacent edge changes (Algorithm 2 lines 1-12).
-	// Affected vertices are classified per label slot into the three
-	// categories of Section IV-A and re-picked where required.
-	affected := make([]uint32, 0, len(delta))
-	for v, m := range delta {
-		if len(m) > 0 {
-			affected = append(affected, v)
-		}
-	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-
-	T := s.cfg.T
-	dirty := make([][]uint32, T+1)
-	dirtySet := make(map[uint32]struct{}, len(affected))
-	for _, v := range affected {
-		dirtySet[v] = struct{}{} // adjacency changed even if no slot repicks
-		stats.Repicked += s.repickVertex(v, delta[v], dirty)
-	}
+	// Affected vertices arrive in ascending ID order straight from the
+	// sorted accumulator and are classified per label slot into the three
+	// categories of Section IV-A, re-picking where required.
+	a.deltas.ForEach(func(v uint32, dl DeltaList) {
+		a.collect(v) // adjacency changed even if no slot repicks
+		stats.Repicked += s.repickVertex(v, dl)
+	})
 
 	// Phase 2: correction propagation (Algorithm 2 lines 13-24), level by
 	// level. pos < t always, so by the time level t runs every label it
 	// can read is final; each slot is therefore recomputed at most once.
-	stamp := make([]int32, len(s.labels))
-	for i := range stamp {
-		stamp[i] = -1
-	}
+	T := s.cfg.T
 	activeLevels := 0
 	for t := 1; t <= T; t++ {
-		if len(dirty[t]) == 0 {
+		if len(a.dirty[t]) == 0 {
 			continue // idle level: the sparse schedule's zero-cost case
 		}
 		activeLevels++
-		for _, v := range dirty[t] {
-			if stamp[v] == int32(t) {
+		for i := 0; i < len(a.dirty[t]); i++ {
+			v := a.dirty[t][i]
+			if !a.stampAt(v, int32(t)) {
 				continue // duplicate mark within this level
 			}
-			stamp[v] = int32(t)
-			dirtySet[v] = struct{}{}
+			a.collect(v)
 			stats.Touched++
 			newVal := s.labels[s.src[v][t]][s.pos[v][t]]
 			if newVal == s.labels[v][t] {
@@ -144,16 +124,17 @@ func (s *State) Update(batch []graph.Edit) UpdateStats {
 			// time on web graphs).
 			for _, rec := range s.recv[v] {
 				if rec.Pos == int32(t) {
-					dirty[rec.Iter] = append(dirty[rec.Iter], rec.Tar)
+					a.dirty[rec.Iter] = append(a.dirty[rec.Iter], rec.Tar)
 				}
 			}
 		}
+		a.dirty[t] = a.dirty[t][:0] // recycle the queue's capacity
 	}
 	if activeLevels > 0 {
 		stats.RoundsRun = activeLevels
 		stats.LevelsSkipped = T - activeLevels
 	}
-	stats.Dirty = SortedDirty(dirtySet)
+	stats.Dirty = a.finishDirty()
 	return stats
 }
 
@@ -168,17 +149,19 @@ func SortedDirty(set map[uint32]struct{}) []uint32 {
 	for v := range set {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // repickVertex applies the Category 1/2/3 analysis to every label slot of
-// an affected vertex. delta maps neighbor -> +1 (added) / -1 (removed).
-// Slots that get a new (src, pos) are marked dirty. It returns the number
-// of re-picked slots. The decision rules live in RepickPlan, shared with
-// the distributed driver.
-func (s *State) repickVertex(v uint32, delta map[uint32]int8, dirty [][]uint32) int {
-	plan := NewRepickPlan(v, delta, s.g.Neighbors(v))
+// an affected vertex. dl is the vertex's sorted net neighbor delta. Slots
+// that get a new (src, pos) are marked dirty in the arena's level queues.
+// It returns the number of re-picked slots. The decision rules live in
+// RepickPlan, shared with the distributed driver.
+func (s *State) repickVertex(v uint32, dl DeltaList) int {
+	a := &s.arena
+	plan := NewRepickPlan(v, dl, s.g.Neighbors(v), a.arrivals)
+	a.arrivals = plan.Buf() // keep the (possibly grown) buffer for the next vertex
 	if !plan.Active() {
 		return 0
 	}
@@ -197,7 +180,7 @@ func (s *State) repickVertex(v uint32, delta map[uint32]int8, dirty [][]uint32) 
 		s.src[v][t] = int32(newSrc)
 		s.pos[v][t] = newPos
 		s.recv[newSrc] = append(s.recv[newSrc], Record{Pos: newPos, Tar: v, Iter: t})
-		dirty[t] = append(dirty[t], v)
+		a.dirty[t] = append(a.dirty[t], v)
 		repicked++
 	}
 	return repicked

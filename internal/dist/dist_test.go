@@ -190,6 +190,85 @@ func TestUpdateMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRemoveVertexDirtyContract pins RemoveVertex's UpdateStats.Dirty
+// contract: the removed vertex and all of its former neighbors appear in
+// Dirty, and the stats are identical to the distributed engine processing
+// the same induced edge-deletion batch (the distributed form of removal —
+// the paper handles vertex deletion as deleting the incident edges and
+// then ignoring the vertex). Extends the requireSameStats pin to the
+// removal path.
+func TestRemoveVertexDirtyContract(t *testing.T) {
+	g := lfrFixture(t)
+	cfg := core.Config{T: 40, Seed: 9}
+	for _, workers := range []int{1, 3} {
+		seq, err := core.Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := newEngine(t, workers)
+		d, err := NewRSLPA(eng, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Propagate(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Pick a well-connected vertex and snapshot its neighborhood; the
+		// induced batch must match RemoveVertex's own construction order.
+		var v uint32
+		g.ForEachVertex(func(u uint32) {
+			if g.Degree(u) > g.Degree(v) {
+				v = u
+			}
+		})
+		nbrs := append([]uint32(nil), seq.Graph().Neighbors(v)...)
+		if len(nbrs) < 2 {
+			t.Fatalf("fixture vertex %d has degree %d; want >= 2", v, len(nbrs))
+		}
+		batch := make([]graph.Edit, 0, len(nbrs))
+		for _, u := range nbrs {
+			batch = append(batch, graph.Edit{Op: graph.Delete, U: v, V: u})
+		}
+
+		ss, ok := seq.RemoveVertex(v)
+		if !ok {
+			t.Fatalf("RemoveVertex(%d) = false", v)
+		}
+		ds, err := d.Update(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameStats(t, ss, ds, cfg.T)
+
+		// Dirty membership contract: v plus every former neighbor.
+		inDirty := func(u uint32) bool {
+			for _, w := range ss.Dirty {
+				if w == u {
+					return true
+				}
+			}
+			return false
+		}
+		if !inDirty(v) {
+			t.Fatalf("workers=%d: removed vertex %d missing from Dirty %v", workers, v, ss.Dirty)
+		}
+		for _, u := range nbrs {
+			if !inDirty(u) {
+				t.Fatalf("workers=%d: former neighbor %d of %d missing from Dirty %v", workers, u, v, ss.Dirty)
+			}
+		}
+
+		// The surviving vertices' label matrices still agree bit-for-bit
+		// (the distributed graph keeps v as an isolated vertex, which the
+		// paper's rule says to ignore).
+		requireSameLabels(t, seq.Graph(), seq, d)
+		if seq.Graph().HasVertex(v) {
+			t.Fatalf("sequential graph still has removed vertex %d", v)
+		}
+	}
+}
+
 // TestUpdatePostprocessMatchesRecompute checks the paper's central dynamic
 // claim end-to-end on the distributed driver: after a dynamic batch,
 // Update+Postprocess recovers the same community structure as a full

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"slices"
 
 	"rslpa/internal/cluster"
 	"rslpa/internal/core"
@@ -20,6 +21,12 @@ type RSLPA struct {
 	shards []*shard
 	epoch  uint64
 	run    bool
+
+	// scratch is each worker's persistent Update scratch (see updScratch):
+	// lazily created on the first Update and reset in O(1) per batch by the
+	// generation-stamp trick, so steady-state incremental batches reuse all
+	// the queue and stamp storage instead of reallocating it.
+	scratch []*updScratch
 
 	// PropagateStats reports the cost of Propagate: Rounds is the number of
 	// label-propagation iterations (T) and Messages/Bytes the wire traffic
@@ -134,20 +141,50 @@ func (d *RSLPA) Propagate() error {
 	return nil
 }
 
-// updScratch is one worker's cross-round state during an Update run.
+// updScratch is one worker's cross-round state during an Update run. It
+// persists across Update calls on the driver: reset bumps a generation
+// counter that invalidates every stamp/seen mark in O(1), and all slices
+// are truncated rather than freed, so a steady-state batch reuses the
+// previous batch's storage (the distributed mirror of core's updArena).
 type updScratch struct {
 	stats  core.UpdateStats
 	dirtyQ [][]uint32 // dirtyQ[t]: owned slots awaiting a value request
-	stamp  []int32    // last level a vertex was requested at (dedup)
+	gen    uint32     // current Update generation (0 = never used)
+	stamp  []uint64   // stamp[v] = gen<<32|level: v drained at level (dedup)
 	// touched collects this worker's owned vertices whose adjacency or
 	// labels changed (UpdateStats.Dirty); owners are disjoint, so the
-	// union over workers equals the sequential set exactly.
-	touched map[uint32]struct{}
+	// concatenation over workers is duplicate-free and equals the
+	// sequential set exactly. seen gen-stamps membership so touched
+	// resets in O(1) per batch.
+	seen    []uint32
+	touched []uint32
+
+	deltas   core.DeltaAcc // batch net-delta accumulation (map-free)
+	arrivals []uint32      // repick-plan arrival scratch
 
 	phase     uint8 // role of the next round this worker executes
 	lo        int32 // schedule floor: no queued level below lo remains
 	remoteMin int32 // lowest level a remote mark was emitted at this round
 	levels    int   // levels scheduled so far (identical on every worker)
+}
+
+// reset prepares the scratch for a new Update run, recycling every backing
+// array. On the once-in-4-billion uint32 generation wraparound the stamp
+// arrays are hard-cleared so stale marks can never alias a live one.
+func (u *updScratch) reset(maxLvl int32) {
+	u.stats = core.UpdateStats{}
+	u.gen++
+	if u.gen == 0 {
+		clear(u.stamp)
+		clear(u.seen)
+		u.gen = 1
+	}
+	u.touched = u.touched[:0]
+	u.deltas.Reset()
+	u.phase = phaseAgree
+	u.lo = 1
+	u.remoteMin = maxLvl
+	u.levels = 0
 }
 
 // Correction-propagation round roles. All workers transition identically
@@ -162,14 +199,25 @@ func (u *updScratch) mark(v uint32, t int32) {
 	u.dirtyQ[t] = append(u.dirtyQ[t], v)
 }
 
+// ensureStamp grows the stamp arrays to cover n vertex IDs (new vertices
+// can appear mid-batch). Grown tails are zero, which no generation ≥ 1
+// ever matches.
 func (u *updScratch) ensureStamp(n int) {
-	if u.stamp != nil {
+	for len(u.stamp) < n {
+		u.stamp = append(u.stamp, 0)
+	}
+	for len(u.seen) < n {
+		u.seen = append(u.seen, 0)
+	}
+}
+
+// touch adds v to the worker's dirty set (idempotent per batch).
+func (u *updScratch) touch(v uint32) {
+	if u.seen[v] == u.gen {
 		return
 	}
-	u.stamp = make([]int32, n)
-	for i := range u.stamp {
-		u.stamp[i] = -1
-	}
+	u.seen[v] = u.gen
+	u.touched = append(u.touched, v)
 }
 
 // Update applies a batch of edge edits and runs Correction Propagation
@@ -220,12 +268,15 @@ func (d *RSLPA) correct(seed func(w int, sh *shard, sc *updScratch, emit cluster
 	maxLvl := int32(T) + 1
 	before := d.eng.Stats()
 
-	scratch := make([]*updScratch, d.eng.Workers())
-	for w := range scratch {
-		scratch[w] = &updScratch{
-			dirtyQ: make([][]uint32, T+1), lo: 1, remoteMin: maxLvl,
-			touched: make(map[uint32]struct{}),
+	if d.scratch == nil {
+		d.scratch = make([]*updScratch, d.eng.Workers())
+		for w := range d.scratch {
+			d.scratch[w] = &updScratch{dirtyQ: make([][]uint32, T+1)}
 		}
+	}
+	scratch := d.scratch
+	for _, sc := range scratch {
+		sc.reset(maxLvl)
 	}
 
 	step := func(w, round int, inbox []cluster.Message, emit cluster.Emitter) (bool, error) {
@@ -308,18 +359,18 @@ func (d *RSLPA) correct(seed func(w int, sh *shard, sc *updScratch, emit cluster
 	}
 
 	var stats core.UpdateStats
-	dirtySet := make(map[uint32]struct{})
+	var dirty []uint32 // freshly allocated: Dirty escapes into snapshots
 	for _, sc := range scratch {
 		stats.Inserted += sc.stats.Inserted
 		stats.Deleted += sc.stats.Deleted
 		stats.Repicked += sc.stats.Repicked
 		stats.Touched += sc.stats.Touched
 		stats.Changed += sc.stats.Changed
-		for v := range sc.touched {
-			dirtySet[v] = struct{}{}
-		}
+		// Owners are disjoint, so concatenation needs no cross-worker dedup.
+		dirty = append(dirty, sc.touched...)
 	}
-	stats.Dirty = core.SortedDirty(dirtySet)
+	slices.Sort(dirty)
+	stats.Dirty = dirty // nil when no worker touched anything
 	// Every worker schedules the same level sequence; read worker 0's.
 	if lv := scratch[0].levels; lv > 0 {
 		stats.RoundsRun = rounds
@@ -367,16 +418,17 @@ func (d *RSLPA) ballot(sh *shard, sc *updScratch, w int, emit cluster.Emitter) {
 // advances the schedule floor past the level.
 func (sc *updScratch) drainLevel(sh *shard, lvl int32, slot func(v uint32)) {
 	sc.ensureStamp(len(sh.exists))
+	key := uint64(sc.gen)<<32 | uint64(uint32(lvl))
 	for _, v := range sc.dirtyQ[lvl] {
-		if sc.stamp[v] == lvl {
+		if sc.stamp[v] == key {
 			continue // duplicate mark within this level
 		}
-		sc.stamp[v] = lvl
-		sc.touched[v] = struct{}{}
+		sc.stamp[v] = key
+		sc.touch(v)
 		sc.stats.Touched++
 		slot(v)
 	}
-	sc.dirtyQ[lvl] = nil
+	sc.dirtyQ[lvl] = sc.dirtyQ[lvl][:0] // recycle the queue's capacity
 	sc.lo = lvl + 1
 }
 
@@ -434,17 +486,7 @@ func (d *RSLPA) cascade(sh *shard, sc *updScratch, w int, v uint32, t int32, emi
 // symmetry is an invariant), accumulate the net neighbor delta, repick the
 // affected slots, and emit the record drop/add fixups.
 func (d *RSLPA) applyBatch(sh *shard, sc *updScratch, w int, batch []graph.Edit, emit cluster.Emitter) {
-	delta := make(map[uint32]map[uint32]int8)
-	bump := func(v, u uint32, dd int8) {
-		m := delta[v]
-		if m == nil {
-			m = make(map[uint32]int8)
-			delta[v] = m
-		}
-		if m[u] += dd; m[u] == 0 {
-			delete(m, u)
-		}
-	}
+	bump := sc.deltas.Bump
 	for _, e := range batch {
 		ownsU := d.eng.Owner(e.U) == w
 		ownsV := d.eng.Owner(e.V) == w
@@ -505,14 +547,16 @@ func (d *RSLPA) applyBatch(sh *shard, sc *updScratch, w int, batch []graph.Edit,
 
 	// Repick the affected slots (Algorithm 2 lines 1-12) and fix the
 	// record lists at whichever workers own the old and new sources.
-	for v, dm := range delta {
-		if len(dm) == 0 {
-			continue
-		}
-		sc.touched[v] = struct{}{} // adjacency changed even if no slot repicks
-		plan := core.NewRepickPlan(v, dm, sh.adj[v])
+	// Finalize drops exact cancellations and yields the affected owned
+	// vertices in ascending ID order (the sequential Update's order too).
+	sc.deltas.Finalize()
+	sc.ensureStamp(len(sh.exists))
+	sc.deltas.ForEach(func(v uint32, dl core.DeltaList) {
+		sc.touch(v) // adjacency changed even if no slot repicks
+		plan := core.NewRepickPlan(v, dl, sh.adj[v], sc.arrivals)
+		sc.arrivals = plan.Buf()
 		if !plan.Active() {
-			continue
+			return
 		}
 		for t := int32(1); t <= int32(d.cfg.T); t++ {
 			oldSrc := sh.src[v][t]
@@ -533,5 +577,5 @@ func (d *RSLPA) applyBatch(sh *shard, sc *updScratch, w int, batch []graph.Edit,
 			sc.mark(v, t)
 			sc.stats.Repicked++
 		}
-	}
+	})
 }

@@ -1,9 +1,7 @@
 package postprocess
 
 import (
-	"sort"
-
-	"rslpa/internal/cover"
+	"slices"
 )
 
 // This file is the partition-aware half of the extraction pipeline: the
@@ -36,7 +34,15 @@ func ReduceForestBy[E any](edges []E, include func(E) bool, heavier func(a, b E)
 			cand = append(cand, e)
 		}
 	}
-	sort.Slice(cand, func(i, j int) bool { return heavier(cand[i], cand[j]) })
+	slices.SortFunc(cand, func(a, b E) int {
+		if heavier(a, b) {
+			return -1
+		}
+		if heavier(b, a) {
+			return 1
+		}
+		return 0
+	})
 	index := make(map[uint32]int32, 2*len(cand))
 	dense := func(v uint32) int {
 		if i, ok := index[v]; ok {
@@ -98,26 +104,5 @@ func Tau2OfParts(parts [][]WeightedEdge) float64 {
 // ExtractFromWeights on the concatenation of the parts, which the tests
 // pin; internal/dist runs the same plan over the wire.
 func ExtractPartitioned(g GraphView, parts [][]WeightedEdge, cfg Config) (*Result, error) {
-	if g.NumVertices() == 0 {
-		return &Result{Cover: cover.New(0)}, nil
-	}
-	tau2 := cfg.Tau2
-	if tau2 == 0 {
-		tau2 = Tau2OfParts(parts)
-	}
-	maxWeight := 0.0
-	var forest, attach []WeightedEdge
-	for _, part := range parts {
-		forest = append(forest, ReduceForest(part, tau2)...)
-		for _, e := range part {
-			if e.W >= tau2 {
-				attach = append(attach, e)
-			}
-			if e.W > maxWeight {
-				maxWeight = e.W
-			}
-		}
-	}
-	forest = ReduceForest(forest, tau2)
-	return ExtractFromForest(g, forest, attach, tau2, maxWeight, cfg)
+	return new(ExtractScratch).ExtractPartitioned(g, parts, cfg)
 }

@@ -27,7 +27,7 @@ package postprocess
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"rslpa/internal/cover"
 	"rslpa/internal/graph"
@@ -63,7 +63,7 @@ const (
 	// intersection): w = Σ_l min(f(l,i), f(l,j)) / (T+1). This equals
 	// 1 minus the total-variation distance of the two empirical label
 	// distributions; it approaches 1 for same-community vertices and is
-	// the default (it reproduces the paper's reported NMI; see DESIGN.md).
+	// the default (it reproduces the paper's reported NMI; see README.md).
 	Intersection WeightMetric = iota
 	// SameLabelProbability is the literal collision probability
 	// w = Σ_l f(l,i)·f(l,j) / (T+1)², kept for ablation; it compresses
@@ -111,18 +111,26 @@ type Result struct {
 // computation (sequential and distributed) consumes, and the payload the
 // distributed driver ships.
 func EncodeRuns(seq []uint32) []uint32 {
-	sorted := append([]uint32(nil), seq...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	runs := make([]uint32, 0, 8)
-	for i := 0; i < len(sorted); {
+	runs, _ := appendRuns(make([]uint32, 0, 8), nil, seq)
+	return runs
+}
+
+// appendRuns is EncodeRuns into caller-owned buffers: dst receives the
+// interleaved (label, count) runs, sortBuf is the sorting scratch. Both
+// (possibly grown) are returned for reuse.
+func appendRuns(dst, sortBuf, seq []uint32) (runs, buf []uint32) {
+	sortBuf = append(sortBuf[:0], seq...)
+	slices.Sort(sortBuf)
+	dst = dst[:0]
+	for i := 0; i < len(sortBuf); {
 		j := i
-		for j < len(sorted) && sorted[j] == sorted[i] {
+		for j < len(sortBuf) && sortBuf[j] == sortBuf[i] {
 			j++
 		}
-		runs = append(runs, sorted[i], uint32(j-i))
+		dst = append(dst, sortBuf[i], uint32(j-i))
 		i = j
 	}
-	return runs
+	return dst, sortBuf
 }
 
 // CommonRuns merge-joins two interleaved (label, count) run lists into the
@@ -156,32 +164,11 @@ func CommonRuns(a, b []uint32, metric WeightMetric) uint64 {
 }
 
 // EdgeWeights computes w_ij for every edge of g from the label sequences
-// using the given metric. Weights are in [0, 1].
+// using the given metric. Weights are in [0, 1]. Repeated callers should
+// hold an ExtractScratch and use its EdgeWeights method, which reuses the
+// per-vertex encoding table instead of rebuilding it.
 func EdgeWeights(g GraphView, labels LabelSeq, metric WeightMetric) []WeightedEdge {
-	// Run-length encode each vertex's sorted label sequence once.
-	encoded := make(map[uint32][]uint32, g.NumVertices())
-	encode := func(v uint32) []uint32 {
-		if r, ok := encoded[v]; ok {
-			return r
-		}
-		r := EncodeRuns(labels(v))
-		encoded[v] = r
-		return r
-	}
-
-	edges := make([]WeightedEdge, 0, g.NumEdges())
-	g.ForEachEdge(func(u, v uint32) {
-		ru, rv := encode(u), encode(v)
-		common := CommonRuns(ru, rv, metric)
-		lu := float64(sumRuns(ru))
-		lv := float64(sumRuns(rv))
-		w := float64(common) / lu
-		if metric == SameLabelProbability {
-			w = float64(common) / (lu * lv)
-		}
-		edges = append(edges, WeightedEdge{U: u, V: v, W: w})
-	})
-	return edges
+	return new(ExtractScratch).EdgeWeights(g, labels, metric)
 }
 
 // sumRuns totals the counts of an interleaved run list (the sequence
@@ -195,47 +182,24 @@ func sumRuns(runs []uint32) uint64 {
 }
 
 // Tau2Of computes Equation 2: the minimum over vertices (with at least one
-// edge) of the maximum incident edge weight.
+// edge) of the maximum incident edge weight. Repeated callers should use
+// an ExtractScratch's Tau2Of method, which keeps the per-vertex maxima in
+// a reusable dense table instead of a map.
 func Tau2Of(edges []WeightedEdge) float64 {
-	maxW := make(map[uint32]float64)
-	for _, e := range edges {
-		if w, ok := maxW[e.U]; !ok || e.W > w {
-			maxW[e.U] = e.W
-		}
-		if w, ok := maxW[e.V]; !ok || e.W > w {
-			maxW[e.V] = e.W
-		}
-	}
-	tau2 := math.Inf(1)
-	for _, w := range maxW {
-		if w < tau2 {
-			tau2 = w
-		}
-	}
-	if math.IsInf(tau2, 1) {
-		return 0
-	}
-	return tau2
+	return new(ExtractScratch).Tau2Of(edges)
 }
 
 // Extract runs the full post-processing pipeline on a graph and its label
-// sequences.
+// sequences. Repeated callers should hold an ExtractScratch and use its
+// Extract method, which reuses every intermediate table between calls.
 func Extract(g GraphView, labels LabelSeq, cfg Config) (*Result, error) {
-	if g.NumVertices() == 0 {
-		return &Result{Cover: cover.New(0)}, nil
-	}
-	edges := EdgeWeights(g, labels, cfg.Metric)
-	return ExtractFromWeights(g, edges, cfg)
+	return new(ExtractScratch).Extract(g, labels, cfg)
 }
 
 // ExtractFromWeights is Extract for callers that already computed (or
 // obtained from the distributed engine) the edge weights.
 func ExtractFromWeights(g GraphView, edges []WeightedEdge, cfg Config) (*Result, error) {
-	tau2 := cfg.Tau2
-	if tau2 == 0 {
-		tau2 = Tau2Of(edges)
-	}
-	return ExtractFromForest(g, edges, edges, tau2, MaxWeight(edges), cfg)
+	return new(ExtractScratch).ExtractFromWeights(g, edges, cfg)
 }
 
 // MaxWeight returns the maximum edge weight of the set (0 when empty) — the
@@ -264,15 +228,17 @@ func MaxWeight(edges []WeightedEdge) float64 {
 // the distributed post-processing: workers ship forests and candidates, the
 // master assembles.
 func ExtractFromForest(g GraphView, conn, attach []WeightedEdge, tau2, maxWeight float64, cfg Config) (*Result, error) {
+	return new(ExtractScratch).extractFromForest(g, conn, attach, tau2, maxWeight, cfg)
+}
+
+func (sc *ExtractScratch) extractFromForest(g GraphView, conn, attach []WeightedEdge, tau2, maxWeight float64, cfg Config) (*Result, error) {
 	res := &Result{}
 	res.Tau2 = tau2
 
-	// Dense re-indexing of the vertices present in the graph.
+	// Dense re-indexing of the vertices present in the graph, in the
+	// scratch's stamped table.
 	ids := g.Vertices()
-	index := make(map[uint32]int32, len(ids))
-	for i, v := range ids {
-		index[v] = int32(i)
-	}
+	index := sc.indexVertices(ids)
 	n := len(ids)
 
 	switch {
@@ -292,10 +258,14 @@ func ExtractFromForest(g GraphView, conn, attach []WeightedEdge, tau2, maxWeight
 	uf := NewUnionFind(n)
 	for _, e := range conn {
 		if e.W >= res.Tau1 {
-			uf.Union(int(index[e.U]), int(index[e.V]))
+			uf.Union(int(index(e.U)), int(index(e.V)))
 		}
 	}
-	commOf := make([]int32, n) // dense community id per vertex, -1 = isolated
+	// Dense community id per vertex, -1 = isolated (reused scratch).
+	if cap(sc.commOf) < n {
+		sc.commOf = make([]int32, n)
+	}
+	commOf := sc.commOf[:n]
 	for i := range commOf {
 		commOf[i] = -1
 	}
@@ -332,7 +302,7 @@ func ExtractFromForest(g GraphView, conn, attach []WeightedEdge, tau2, maxWeight
 		if e.W < res.Tau2 {
 			continue
 		}
-		du, dv := index[e.U], index[e.V]
+		du, dv := index(e.U), index(e.V)
 		cu, cv := commOf[du], commOf[dv]
 		if cu < 0 && cv >= 0 {
 			joins[du] = appendUnique(joins[du], cv)
@@ -396,18 +366,19 @@ func ChooseTau1(edges []WeightedEdge, n int, tau2, maxWeight float64, cfg Config
 	if cfg.Tau1 != 0 {
 		return cfg.Tau1
 	}
-	index := make(map[uint32]int32)
+	indexMap := make(map[uint32]int32)
 	next := int32(0)
 	for _, e := range edges {
-		if _, ok := index[e.U]; !ok {
-			index[e.U] = next
+		if _, ok := indexMap[e.U]; !ok {
+			indexMap[e.U] = next
 			next++
 		}
-		if _, ok := index[e.V]; !ok {
-			index[e.V] = next
+		if _, ok := indexMap[e.V]; !ok {
+			indexMap[e.V] = next
 			next++
 		}
 	}
+	index := func(v uint32) int32 { return indexMap[v] }
 	if cfg.GridStep > 0 {
 		return selectTau1Grid(edges, index, n, tau2, maxWeight, cfg.GridStep)
 	}
@@ -449,7 +420,7 @@ func (h *sizeHist) entropy(n float64) float64 {
 			h.scratch = append(h.scratch, s)
 		}
 	}
-	sort.Slice(h.scratch, func(i, j int) bool { return h.scratch[i] < h.scratch[j] })
+	slices.Sort(h.scratch)
 	e := 0.0
 	for _, s := range h.scratch {
 		p := float64(s) / n
@@ -473,7 +444,7 @@ func entropyOfPartition(uf *UnionFind, n int) float64 {
 			sizes = append(sizes, int32(s))
 		}
 	}
-	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	slices.Sort(sizes)
 	h, fn := 0.0, float64(n)
 	for _, s := range sizes {
 		p := float64(s) / fn
@@ -488,7 +459,7 @@ func entropyOfPartition(uf *UnionFind, n int) float64 {
 // returns the weight maximizing the entropy (the largest such weight on
 // ties). maxWeight is the maximum over the full edge set — the fallback
 // when no edge reaches τ₂.
-func selectTau1Sweep(edges []WeightedEdge, index map[uint32]int32, n int, tau2, maxWeight float64) float64 {
+func selectTau1Sweep(edges []WeightedEdge, index func(uint32) int32, n int, tau2, maxWeight float64) float64 {
 	sorted := make([]WeightedEdge, 0, len(edges))
 	for _, e := range edges {
 		if e.W >= tau2 {
@@ -498,7 +469,17 @@ func selectTau1Sweep(edges []WeightedEdge, index map[uint32]int32, n int, tau2, 
 	if len(sorted) == 0 {
 		return math.Max(tau2, maxWeight)
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].W > sorted[j].W })
+	// Tie order within a weight is irrelevant: the entropy is evaluated
+	// once per distinct weight, after the whole group is inserted.
+	slices.SortFunc(sorted, func(a, b WeightedEdge) int {
+		switch {
+		case a.W > b.W:
+			return -1
+		case a.W < b.W:
+			return 1
+		}
+		return 0
+	})
 
 	uf := NewUnionFind(n)
 	hist := newSizeHist(n)
@@ -509,7 +490,7 @@ func selectTau1Sweep(edges []WeightedEdge, index map[uint32]int32, n int, tau2, 
 		w := sorted[i].W
 		for i < len(sorted) && sorted[i].W == w {
 			e := sorted[i]
-			a, b := int(index[e.U]), int(index[e.V])
+			a, b := int(index(e.U)), int(index(e.V))
 			ra, rb := uf.Find(a), uf.Find(b)
 			if ra != rb {
 				hist.merge(int32(uf.SizeOf(ra)), int32(uf.SizeOf(rb)))
@@ -527,14 +508,14 @@ func selectTau1Sweep(edges []WeightedEdge, index map[uint32]int32, n int, tau2, 
 
 // selectTau1Grid is the paper's literal enumeration: τ₁ candidates from τ₂
 // to max(w) in fixed steps, running connected components at each step.
-func selectTau1Grid(edges []WeightedEdge, index map[uint32]int32, n int, tau2, maxWeight, step float64) float64 {
+func selectTau1Grid(edges []WeightedEdge, index func(uint32) int32, n int, tau2, maxWeight, step float64) float64 {
 	maxW := math.Max(tau2, maxWeight)
 	bestTau, bestH := maxW, math.Inf(-1)
 	for tau := tau2; tau <= maxW+step/2; tau += step {
 		uf := NewUnionFind(n)
 		for _, e := range edges {
 			if e.W >= tau {
-				uf.Union(int(index[e.U]), int(index[e.V]))
+				uf.Union(int(index(e.U)), int(index(e.V)))
 			}
 		}
 		if h := entropyOfPartition(uf, n); h > bestH {

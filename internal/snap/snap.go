@@ -1,0 +1,208 @@
+// Package snap loads SNAP (snap.stanford.edu) community-detection
+// datasets: whitespace-separated undirected edge lists with '#' comment
+// headers (com-*.ungraph.txt) and the matching ground-truth community
+// files (com-*.top5000.cmty.txt, one community per line, tab-separated
+// member IDs). Files ending in .gz are decompressed transparently.
+//
+// SNAP node IDs are arbitrary sparse integers, so the loader remaps them
+// to compact uint32 IDs in first-seen edge order; the ground truth is
+// mapped through the same table, which keeps every downstream structure
+// (graphs, covers, metric computations) dense without the caller ever
+// seeing the original IDs.
+package snap
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"rslpa/internal/cover"
+	"rslpa/internal/graph"
+)
+
+// Dataset is a loaded SNAP graph with optional ground truth.
+type Dataset struct {
+	// Edges are the deduplicated undirected edges in file order, over
+	// compact vertex IDs 0..N-1 (self-loops and duplicates dropped).
+	Edges [][2]uint32
+	// N is the number of distinct vertices in the edge list.
+	N int
+	// Truth holds the ground-truth communities over the same compact IDs,
+	// nil when no truth file was given. Members absent from the edge list
+	// are dropped (trimmed samples cut some), as are communities left with
+	// fewer than two present members.
+	Truth *cover.Cover
+	// TruthDropped counts ground-truth communities dropped for having
+	// fewer than two present members.
+	TruthDropped int
+
+	ids map[uint64]uint32 // original SNAP node ID -> compact ID
+}
+
+// Load reads an edge list and, when truthPath is non-empty, its ground
+// truth. Either path may point to a gzip-compressed file (.gz suffix).
+func Load(edgePath, truthPath string) (*Dataset, error) {
+	d, err := LoadEdges(edgePath)
+	if err != nil {
+		return nil, err
+	}
+	if truthPath == "" {
+		return d, nil
+	}
+	if err := d.loadTruth(truthPath); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadEdges reads just the edge list.
+func LoadEdges(path string) (*Dataset, error) {
+	r, err := open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	d := &Dataset{}
+	d.ids = make(map[uint64]uint32)
+	seen := make(map[uint64]struct{})
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("snap: %s:%d: want two node IDs, got %q", path, line, text)
+		}
+		a, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("snap: %s:%d: bad node ID %q", path, line, fields[0])
+		}
+		b, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("snap: %s:%d: bad node ID %q", path, line, fields[1])
+		}
+		if a == b {
+			continue // self-loop
+		}
+		u, v := d.mapID(a), d.mapID(b)
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := uint64(lo)<<32 | uint64(hi)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		d.Edges = append(d.Edges, [2]uint32{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("snap: reading %s: %w", path, err)
+	}
+	d.N = len(d.ids)
+	return d, nil
+}
+
+// mapID assigns compact IDs in first-seen order; loadTruth shares the
+// table so truth and edges agree on the mapping.
+func (d *Dataset) mapID(orig uint64) uint32 {
+	if id, ok := d.ids[orig]; ok {
+		return id
+	}
+	id := uint32(len(d.ids))
+	d.ids[orig] = id
+	return id
+}
+
+func (d *Dataset) loadTruth(path string) error {
+	r, err := open(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	d.Truth = cover.New(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<22), 1<<22) // community lines can be long
+	line := 0
+	var members []uint32
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		members = members[:0]
+		for _, f := range strings.Fields(text) {
+			orig, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return fmt.Errorf("snap: %s:%d: bad member ID %q", path, line, f)
+			}
+			if id, ok := d.ids[orig]; ok {
+				members = append(members, id)
+			}
+		}
+		if len(members) < 2 {
+			d.TruthDropped++
+			continue
+		}
+		d.Truth.Add(members)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("snap: reading %s: %w", path, err)
+	}
+	return nil
+}
+
+// Graph builds a graph.Graph containing all of the dataset's edges.
+func (d *Dataset) Graph() *graph.Graph {
+	g := graph.New()
+	for _, e := range d.Edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// open opens path, transparently decompressing .gz files.
+func open(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snap: gunzip %s: %w", path, err)
+	}
+	return &gzipFile{zr: zr, f: f}, nil
+}
+
+// gzipFile closes both the gzip stream and the underlying file.
+type gzipFile struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipFile) Read(p []byte) (int, error) { return g.zr.Read(p) }
+
+func (g *gzipFile) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}

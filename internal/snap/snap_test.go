@@ -1,0 +1,161 @@
+package snap
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write puts content at dir/name, gzip-compressing when name ends in .gz.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if filepath.Ext(name) == ".gz" {
+		zw := gzip.NewWriter(f)
+		if _, err := zw.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if _, err := f.WriteString(content); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const edgeList = `# Undirected graph: test
+# Nodes: 5 Edges: 4
+# FromNodeId	ToNodeId
+1000	2000
+2000	1000
+1000	1000
+2000	3000
+77	1000
+3000	77
+`
+
+const truthList = `1000	2000	3000
+77	1000
+999999	1000
+42
+`
+
+func TestLoadEdges(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "test.ungraph.txt", edgeList)
+	d, err := LoadEdges(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000->0, 2000->1, 3000->2, 77->3 in first-seen order; the reversed
+	// duplicate and the self-loop are dropped.
+	want := [][2]uint32{{0, 1}, {1, 2}, {3, 0}, {2, 3}}
+	if d.N != 4 {
+		t.Fatalf("N = %d, want 4", d.N)
+	}
+	if len(d.Edges) != len(want) {
+		t.Fatalf("Edges = %v, want %v", d.Edges, want)
+	}
+	for i, e := range want {
+		if d.Edges[i] != e {
+			t.Fatalf("Edges[%d] = %v, want %v", i, d.Edges[i], e)
+		}
+	}
+	g := d.Graph()
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("Graph: %d vertices %d edges, want 4/4", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestLoadTruthSharedMapping(t *testing.T) {
+	dir := t.TempDir()
+	ep := write(t, dir, "test.ungraph.txt", edgeList)
+	tp := write(t, dir, "test.top5000.cmty.txt", truthList)
+	d, err := Load(ep, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 3 keeps only the mapped member 1000 (999999 is absent), so it
+	// is dropped along with the singleton line 4.
+	if d.Truth.Len() != 2 {
+		t.Fatalf("Truth.Len() = %d, want 2", d.Truth.Len())
+	}
+	if d.TruthDropped != 2 {
+		t.Fatalf("TruthDropped = %d, want 2", d.TruthDropped)
+	}
+	// Cover.Add sorts members; community 0 is {1000,2000,3000} -> {0,1,2}.
+	c0 := d.Truth.Community(0)
+	if len(c0) != 3 || c0[0] != 0 || c0[1] != 1 || c0[2] != 2 {
+		t.Fatalf("Community(0) = %v, want [0 1 2]", c0)
+	}
+	c1 := d.Truth.Community(1)
+	if len(c1) != 2 || c1[0] != 0 || c1[1] != 3 {
+		t.Fatalf("Community(1) = %v, want [0 3]", c1)
+	}
+}
+
+func TestLoadGzip(t *testing.T) {
+	dir := t.TempDir()
+	ep := write(t, dir, "test.ungraph.txt.gz", edgeList)
+	tp := write(t, dir, "test.top5000.cmty.txt.gz", truthList)
+	d, err := Load(ep, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 4 || len(d.Edges) != 4 || d.Truth.Len() != 2 {
+		t.Fatalf("gzip load: N=%d edges=%d truth=%d, want 4/4/2", d.N, len(d.Edges), d.Truth.Len())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadEdges(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	bad := write(t, dir, "bad.ungraph.txt", "1 notanumber\n")
+	if _, err := LoadEdges(bad); err == nil {
+		t.Fatal("want error for malformed node ID")
+	}
+	short := write(t, dir, "short.ungraph.txt", "42\n")
+	if _, err := LoadEdges(short); err == nil {
+		t.Fatal("want error for one-field line")
+	}
+}
+
+// TestFixtures pins the committed CI fixtures: both load, have truth, and
+// every truth member appears in the graph (nothing was trimmed away).
+func TestFixtures(t *testing.T) {
+	root := "../../testdata/snap"
+	for _, name := range []string{"com-amazon.sample", "com-dblp.sample"} {
+		d, err := Load(
+			filepath.Join(root, name+".ungraph.txt"),
+			filepath.Join(root, name+".top5000.cmty.txt"),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.N == 0 || len(d.Edges) == 0 || d.Truth.Len() == 0 {
+			t.Fatalf("%s: empty dataset (N=%d edges=%d truth=%d)", name, d.N, len(d.Edges), d.Truth.Len())
+		}
+		if d.TruthDropped != 0 {
+			t.Fatalf("%s: %d truth communities dropped; fixtures must be self-contained", name, d.TruthDropped)
+		}
+		g := d.Graph()
+		for i := 0; i < d.Truth.Len(); i++ {
+			for _, v := range d.Truth.Community(i) {
+				if !g.HasVertex(v) {
+					t.Fatalf("%s: truth member %d not in graph", name, v)
+				}
+			}
+		}
+	}
+}

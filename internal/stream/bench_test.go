@@ -33,6 +33,7 @@ func BenchmarkStreamServe(b *testing.B) {
 		b.Fatal(err)
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	for range b.N {
 		b.StopTimer() // per-iteration setup is not part of the serving cost
@@ -155,6 +156,7 @@ func BenchmarkSnapshotPublish(b *testing.B) {
 				stats := work.Update(graph.Canonicalize(work.Graph(), edits))
 
 				var sn *Snapshot
+				b.ReportAllocs()
 				b.ResetTimer()
 				for range b.N {
 					sn = nextSnapshot(prev, wdet, stats.Dirty, stats)

@@ -53,6 +53,11 @@ type Snapshot struct {
 
 	republished int // shards cloned to publish this snapshot
 
+	// scratch, when non-nil, is the service-owned pool of extraction
+	// scratches shared by every epoch's memoized extraction, so the
+	// per-vertex tables are reused between epochs instead of reallocated.
+	scratch *sync.Pool
+
 	once   sync.Once
 	res    *postprocess.Result
 	member map[uint32][]int
@@ -88,10 +93,11 @@ func newSnapshot(epoch uint64, det Detector, pcfg postprocess.Config, last core.
 func nextSnapshot(prev *Snapshot, det Detector, dirty []uint32, last core.UpdateStats) *Snapshot {
 	g := det.Graph()
 	sn := &Snapshot{
-		epoch:  prev.epoch + 1,
-		shards: make([]*snapShard, graph.NumShards(g.MaxVertexID())),
-		pcfg:   prev.pcfg,
-		last:   last,
+		epoch:   prev.epoch + 1,
+		shards:  make([]*snapShard, graph.NumShards(g.MaxVertexID())),
+		pcfg:    prev.pcfg,
+		last:    last,
+		scratch: prev.scratch,
 	}
 	copy(sn.shards, prev.shards) // ID space never shrinks
 	reclone := make(map[int]struct{})
@@ -239,7 +245,16 @@ func (sn *Snapshot) Membership(v uint32) ([]int, error) {
 
 func (sn *Snapshot) extract() {
 	sn.once.Do(func() {
-		sn.res, sn.err = postprocess.Extract(sn, sn.Labels, sn.pcfg)
+		if sn.scratch != nil {
+			// Results never alias scratch memory, so the scratch goes
+			// straight back to the pool for the next epoch (or a
+			// concurrent extraction of a different snapshot).
+			sc := sn.scratch.Get().(*postprocess.ExtractScratch)
+			sn.res, sn.err = sc.Extract(sn, sn.Labels, sn.pcfg)
+			sn.scratch.Put(sc)
+		} else {
+			sn.res, sn.err = postprocess.Extract(sn, sn.Labels, sn.pcfg)
+		}
 		if sn.err == nil {
 			sn.member = sn.res.Cover.Membership()
 		}

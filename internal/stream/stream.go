@@ -234,8 +234,11 @@ func New(det Detector, opts Options) (*Service, error) {
 		sweepCheckpointTemps(opts.CheckpointPath)
 	}
 	// Epoch 0: the detector's state as handed in, so queries are served
-	// from the first instant.
+	// from the first instant. Snapshots share one pool of extraction
+	// scratches for the service's lifetime, so the per-vertex tables are
+	// reused between epochs instead of reallocated per extraction.
 	sn0 := newSnapshot(0, det, opts.Extraction, core.UpdateStats{})
+	sn0.scratch = &sync.Pool{New: func() any { return new(postprocess.ExtractScratch) }}
 	s.snap.Store(sn0)
 	s.st.Vertices = sn0.NumVertices()
 	s.st.Edges = sn0.NumEdges()
@@ -494,6 +497,7 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 	var next *Snapshot
 	if stats.Dirty == nil && stats.Inserted+stats.Deleted+stats.Repicked+stats.Changed > 0 {
 		next = newSnapshot(prev.Epoch()+1, s.det, s.opts.Extraction, stats)
+		next.scratch = prev.scratch
 	} else {
 		next = nextSnapshot(prev, s.det, stats.Dirty, stats)
 	}

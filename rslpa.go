@@ -71,7 +71,7 @@ func NewGraph() *Graph { return graph.New() }
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
 // WeightMetric selects the edge-similarity definition used by community
-// extraction; see the postprocessing documentation in DESIGN.md.
+// extraction; see the post-processing notes in README.md.
 type WeightMetric = postprocess.WeightMetric
 
 // Weight metrics.

@@ -12,11 +12,18 @@ prefix=$1
 in=$2
 out=$3
 
+# The testing package's allocation units ("B/op", "allocs/op") get stable
+# snake_case keys so trajectory tooling can diff them across PRs.
 awk -v prefix="$prefix" 'BEGIN { printf "[" }
      $0 ~ ("^" prefix) {
        if (n++) printf ",";
        printf "{\"name\":\"%s\",\"iterations\":%s", $1, $2;
-       for (i = 3; i < NF; i += 2) printf ",\"%s\":%s", $(i+1), $i;
+       for (i = 3; i < NF; i += 2) {
+         key = $(i+1);
+         if (key == "B/op") key = "bytes_per_op";
+         else if (key == "allocs/op") key = "allocs_per_op";
+         printf ",\"%s\":%s", key, $i;
+       }
        printf "}"
      }
      END { printf "]\n" }' "$in" > "$out"

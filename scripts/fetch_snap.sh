@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# fetch_snap.sh [dir]
+#
+# Download the real SNAP ground-truth community datasets the gauntlet
+# (`go run ./cmd/repro -exp snap`) validates against, into <dir>
+# (default: data/snap). Files are kept gzip-compressed; the loader in
+# internal/snap decompresses transparently.
+#
+# Integrity: SNAP does not publish checksums, so this script records a
+# sha256 for each file on first download (<dir>/SHA256SUMS) and verifies
+# subsequent downloads against it — trust-on-first-use. Delete the
+# matching line from SHA256SUMS to accept an upstream change.
+set -eu
+
+dir=${1:-data/snap}
+base=https://snap.stanford.edu/data/bigdata/communities
+files="com-amazon.ungraph.txt.gz com-amazon.top5000.cmty.txt.gz \
+com-dblp.ungraph.txt.gz com-dblp.top5000.cmty.txt.gz \
+com-youtube.ungraph.txt.gz com-youtube.top5000.cmty.txt.gz"
+
+mkdir -p "$dir"
+sums="$dir/SHA256SUMS"
+touch "$sums"
+
+for f in $files; do
+    dst="$dir/$f"
+    if [ ! -f "$dst" ]; then
+        echo "fetching $f"
+        curl -fsSL -o "$dst.part" "$base/$f"
+        mv "$dst.part" "$dst"
+    fi
+    have=$(sha256sum "$dst" | awk '{print $1}')
+    want=$(awk -v f="$f" '$2 == f {print $1}' "$sums")
+    if [ -z "$want" ]; then
+        echo "$have  $f" >> "$sums"
+        echo "recorded $f sha256=$have (trust-on-first-use)"
+    elif [ "$have" != "$want" ]; then
+        echo "ERROR: $f sha256 mismatch (have $have, want $want)" >&2
+        exit 1
+    else
+        echo "verified $f"
+    fi
+done
+echo "datasets ready in $dir"
