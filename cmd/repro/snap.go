@@ -12,6 +12,7 @@ import (
 
 	"rslpa/internal/core"
 	"rslpa/internal/graph"
+	"rslpa/internal/metrics"
 	"rslpa/internal/nmi"
 	"rslpa/internal/postprocess"
 	"rslpa/internal/snap"
@@ -110,8 +111,8 @@ func runSnap(o options) {
 			Communities: d.Truth.Len(),
 			BatchSize:   batchSize,
 			Batches:     nb,
-			UpdateP50Ns: lats[nb/2],
-			UpdateP99Ns: lats[min(nb*99/100, nb-1)],
+			UpdateP50Ns: metrics.Quantile(lats, 0.50),
+			UpdateP99Ns: metrics.Quantile(lats, 0.99),
 			// Whole-stream malloc delta over the batch count; includes the
 			// batch construction above, so it upper-bounds Update's own.
 			AllocsPerBatch: float64(m1.Mallocs-m0.Mallocs) / float64(nb),

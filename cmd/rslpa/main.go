@@ -5,12 +5,16 @@
 //	rslpa detect -graph web.txt -T 200 -workers 4 -out communities.txt
 //	rslpa detect -graph web.txt -algo slpa -T 100 -tau 0.2
 //	rslpa serve  -graph web.txt -addr :7463 -checkpoint state.ckpt
+//	rslpa serve  -follow http://writer:7463 -addr :7464
 //
 // detect runs one-shot detection (rSLPA by default, or the SLPA baseline,
 // optionally on the distributed BSP engine); with -truth it reports NMI
 // against a ground-truth cover. serve starts the streaming detection
 // service: an HTTP front end that ingests edge edits and answers
-// snapshot-consistent community queries while maintenance runs.
+// snapshot-consistent community queries while maintenance runs. With
+// -follow it runs a read-only follower instead: it bootstraps from the
+// writer's checkpoint, tails the writer's replication feed, and serves
+// the same read endpoints from local snapshots.
 //
 // Invoking rslpa with flags but no subcommand behaves as detect, for
 // compatibility with earlier versions.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rslpa"
+	"rslpa/internal/replica"
 )
 
 // runServe starts the streaming detection service: detect (or resume from
@@ -21,7 +22,14 @@ import (
 //	GET  /communities  current snapshot's overlapping communities
 //	GET  /vertex/{v}   membership + degree of one vertex
 //	GET  /stats        queue depth, epoch, batch/latency counters
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness (+ latched checkpoint error, if any)
+//	GET  /readyz       readiness: 503 once checkpointing is failing
+//	GET  /feed         replication feed for followers (with -journal > 0)
+//	GET  /checkpoint   bootstrap checkpoint for followers
+//
+// With -follow it instead runs a read-only follower of another rslpa
+// server: bootstrap from the writer's checkpoint, tail its feed, and
+// serve the read endpoints (no POST /edits) from local snapshots.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("rslpa serve", flag.ExitOnError)
 	var (
@@ -36,8 +44,16 @@ func runServe(args []string) {
 		queue     = fs.Int("queue", 4096, "ingest queue capacity (edits); full queue blocks producers")
 		ckpt      = fs.String("checkpoint", "", "checkpoint file; loaded at startup when present, rewritten while serving")
 		ckptEvery = fs.Int("checkpoint-every", 16, "batches between checkpoints")
+		journal   = fs.Int("journal", 1024, "batches retained for the follower feed (0 disables /feed and /checkpoint)")
+		follow    = fs.String("follow", "", "run as a read-only follower of this writer base URL")
+		poll      = fs.Duration("poll", 50*time.Millisecond, "follower: feed poll interval when caught up")
 	)
 	fs.Parse(args)
+
+	if *follow != "" {
+		runFollower(*follow, *addr, *poll)
+		return
+	}
 
 	det, resumed, err := openDetector(*graphPath, *ckpt, rslpa.Config{T: *T, Seed: *seed, Workers: *workers, TCP: *tcp})
 	if err != nil {
@@ -49,6 +65,7 @@ func runServe(args []string) {
 		FlushInterval:   *flush,
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
+		JournalDepth:    *journal,
 	})
 	if err != nil {
 		det.Close()
@@ -83,6 +100,38 @@ func runServe(args []string) {
 	st := svc.Stats()
 	fmt.Printf("served %d epochs, %d edits applied (%d coalesced away), %d checkpoints\n",
 		st.Epoch, st.AppliedEdits, st.CoalescedEdits, st.Checkpoints)
+}
+
+// runFollower serves the read tier: bootstrap from the writer's
+// checkpoint, tail its feed, answer reads from local snapshots.
+func runFollower(writerURL, addr string, poll time.Duration) {
+	f, err := replica.New(replica.Options{WriterURL: writerURL, PollInterval: poll})
+	if err != nil {
+		fatal(fmt.Errorf("follow %s: %w", writerURL, err))
+	}
+	sn := f.Snapshot()
+	fmt.Printf("following %s on %s: %d vertices, %d edges at epoch %d\n",
+		writerURL, addr, sn.NumVertices(), sn.NumEdges(), sn.Epoch())
+
+	srv := &http.Server{Addr: addr, Handler: f.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		f.Close()
+		fatal(err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	f.Close()
+	st := f.Stats()
+	fmt.Printf("follower stopped at epoch %d (writer %d, lag %d): %d batches replayed, %d re-bootstraps\n",
+		st.FollowerEpoch, st.WriterEpoch, st.LagBatches, st.CatchupTotal, st.Rebootstraps)
 }
 
 // openDetector resumes from the checkpoint when one exists, otherwise

@@ -11,6 +11,11 @@
 // checkpoints itself as it goes, and at the end the example restarts from
 // that checkpoint and verifies the restored state is bit-identical.
 //
+// A read-only follower tails the writer over HTTP the whole time: it
+// bootstraps from the writer's checkpoint, replays the replication feed
+// batch by batch, and — because batch replay is deterministic — converges
+// to the writer's exact state, bit for bit, at every epoch it publishes.
+//
 // Run with: go run ./examples/socialstream
 package main
 
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
@@ -26,6 +32,7 @@ import (
 
 	"rslpa"
 	"rslpa/internal/dynamic"
+	"rslpa/internal/replica"
 )
 
 func main() {
@@ -58,10 +65,26 @@ func main() {
 		FlushInterval:   20 * time.Millisecond,
 		CheckpointPath:  ckpt,
 		CheckpointEvery: 4,
+		JournalDepth:    64,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The read tier: expose the writer over HTTP and attach a follower
+	// that bootstraps from its checkpoint and tails its feed while the
+	// stream below runs.
+	writerSrv := httptest.NewServer(svc.Handler())
+	defer writerSrv.Close()
+	follower, err := replica.New(replica.Options{
+		WriterURL:    writerSrv.URL,
+		PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer follower.Close()
+	fmt.Printf("follower attached to %s at epoch %d\n", writerSrv.URL, follower.Snapshot().Epoch())
 
 	// The edit stream: 12 batches of 200 edits (half new friendships,
 	// half ended), generated against the evolving graph up front so the
@@ -153,6 +176,29 @@ func main() {
 		rslpa.NMI(res.Communities, truth, n))
 
 	final := svc.Snapshot()
+
+	// The follower converges to the writer's final epoch and serves the
+	// identical state from its own snapshots.
+	for follower.Stats().FollowerEpoch < final.Epoch() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	fsn := follower.Snapshot()
+	for v := uint32(0); v < n; v++ {
+		a, b := final.Labels(v), fsn.Labels(v)
+		if len(a) != len(b) {
+			log.Fatalf("follower diverged at member %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				log.Fatalf("follower diverged at member %d label %d", v, i)
+			}
+		}
+	}
+	fst := follower.Stats()
+	fmt.Printf("follower check: epoch %d matches the writer bit for bit (%d feed batches replayed, lag %d, %d re-bootstraps)\n",
+		fst.FollowerEpoch, fst.CatchupTotal, fst.LagBatches, fst.Rebootstraps)
+	follower.Close()
+
 	if err := svc.Close(); err != nil {
 		log.Fatal(err)
 	}

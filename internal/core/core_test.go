@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -233,10 +234,14 @@ func TestUpdateVertexLosesAllNeighbors(t *testing.T) {
 func TestAddRemoveVertex(t *testing.T) {
 	g := ring(8)
 	s := mustRun(t, g, Config{T: 10, Seed: 2})
-	if !s.AddVertex(100) {
+	st, ok := s.AddVertex(100)
+	if !ok {
 		t.Fatal("AddVertex(100) = false")
 	}
-	if s.AddVertex(100) {
+	if len(st.Dirty) != 1 || st.Dirty[0] != 100 {
+		t.Fatalf("AddVertex Dirty = %v, want [100]", st.Dirty)
+	}
+	if _, ok := s.AddVertex(100); ok {
 		t.Fatal("second AddVertex(100) = true")
 	}
 	s.Update([]graph.Edit{
@@ -246,8 +251,12 @@ func TestAddRemoveVertex(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.RemoveVertex(100); !ok {
+	rs, ok := s.RemoveVertex(100)
+	if !ok {
 		t.Fatal("RemoveVertex(100) = false")
+	}
+	if !slices.Contains(rs.Dirty, 100) {
+		t.Fatalf("RemoveVertex Dirty = %v, missing the removed vertex", rs.Dirty)
 	}
 	if _, ok := s.RemoveVertex(100); ok {
 		t.Fatal("second RemoveVertex(100) = true")
@@ -257,6 +266,42 @@ func TestAddRemoveVertex(t *testing.T) {
 	}
 	if s.Labels(100) != nil {
 		t.Fatal("removed vertex still has labels")
+	}
+
+	// The isolated-vertex removal path: the induced edge-deletion batch is
+	// empty, yet the shard's presence bit changes — Dirty must still carry
+	// the vertex or a COW snapshot would keep serving it.
+	if _, ok := s.AddVertex(101); !ok {
+		t.Fatal("AddVertex(101) = false")
+	}
+	rs, ok = s.RemoveVertex(101)
+	if !ok {
+		t.Fatal("RemoveVertex(101) = false")
+	}
+	if len(rs.Dirty) != 1 || rs.Dirty[0] != 101 {
+		t.Fatalf("isolated RemoveVertex Dirty = %v, want [101]", rs.Dirty)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDirty(t *testing.T) {
+	cases := []struct {
+		in   []uint32
+		v    uint32
+		want []uint32
+	}{
+		{nil, 5, []uint32{5}},
+		{[]uint32{5}, 5, []uint32{5}},
+		{[]uint32{1, 9}, 5, []uint32{1, 5, 9}},
+		{[]uint32{1, 9}, 0, []uint32{0, 1, 9}},
+		{[]uint32{1, 9}, 12, []uint32{1, 9, 12}},
+	}
+	for _, c := range cases {
+		if got := MergeDirty(append([]uint32(nil), c.in...), c.v); !slices.Equal(got, c.want) {
+			t.Fatalf("MergeDirty(%v, %d) = %v, want %v", c.in, c.v, got, c.want)
+		}
 	}
 }
 

@@ -196,24 +196,42 @@ func (s *State) growTo(v uint32) {
 	}
 }
 
+// MergeDirty inserts v into a canonical (sorted, deduplicated) Dirty set,
+// preserving the invariant. The input slice is never aliased by callers
+// that must not observe the mutation: UpdateStats.Dirty is freshly
+// allocated by every Update, so in-place insertion is safe here.
+func MergeDirty(dirty []uint32, v uint32) []uint32 {
+	i, found := slices.BinarySearch(dirty, v)
+	if found {
+		return dirty
+	}
+	return slices.Insert(dirty, i, v)
+}
+
 // AddVertex inserts an isolated vertex (no label slots need repair: an
-// isolated vertex's sequence is all its own label). It reports whether the
-// vertex was new.
-func (s *State) AddVertex(v uint32) bool {
+// isolated vertex's sequence is all its own label). ok is false if the
+// vertex already existed. Even though no labels change, the vertex's
+// presence bit does — the returned stats carry v in Dirty so copy-on-write
+// snapshot publication reclones the shard that must now serve it.
+func (s *State) AddVertex(v uint32) (UpdateStats, bool) {
 	s.growTo(v)
 	if !s.g.AddVertex(v) {
-		return false
+		return UpdateStats{}, false
 	}
 	if s.labels[v] == nil {
 		s.initVertex(v)
 	}
-	return true
+	return UpdateStats{Dirty: []uint32{v}}, true
 }
 
 // RemoveVertex deletes a vertex and its incident edges, repairing all
 // affected labels (the paper's rule: deletion is handled by deleting the
 // incident edges and then ignoring the vertex). It returns the stats of the
 // induced edge-deletion batch; ok is false if the vertex was absent.
+//
+// Dirty always includes v itself, even when the vertex was isolated and
+// the induced batch therefore empty: removing it still flips its shard's
+// presence bit, which a copy-on-write snapshot must observe.
 func (s *State) RemoveVertex(v uint32) (UpdateStats, bool) {
 	if !s.g.HasVertex(v) {
 		return UpdateStats{}, false
@@ -232,5 +250,6 @@ func (s *State) RemoveVertex(v uint32) (UpdateStats, bool) {
 	s.src[v] = nil
 	s.pos[v] = nil
 	s.recv[v] = nil
+	stats.Dirty = MergeDirty(stats.Dirty, v)
 	return stats, true
 }

@@ -269,6 +269,67 @@ func TestRemoveVertexDirtyContract(t *testing.T) {
 	}
 }
 
+// TestRemoveIsolatedVertexDirtyContract pins the isolated-vertex corner of
+// the Dirty contract on BOTH engines: removing a vertex with no neighbors
+// induces an empty edge-deletion batch, yet its shard presence bit flips —
+// Dirty must still carry the vertex (nil Dirty here made COW snapshots keep
+// serving it). The distributed RemoveVertex must mirror the sequential one
+// stat-for-stat and keep the label matrices bit-identical.
+func TestRemoveIsolatedVertexDirtyContract(t *testing.T) {
+	g := lfrFixture(t)
+	iso := uint32(g.MaxVertexID() + 3)
+	g.AddVertex(iso)
+	cfg := core.Config{T: 30, Seed: 9}
+	for _, workers := range []int{1, 3} {
+		seq, err := core.Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := newEngine(t, workers)
+		d, err := NewRSLPA(eng, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Propagate(); err != nil {
+			t.Fatal(err)
+		}
+
+		ss, ok := seq.RemoveVertex(iso)
+		if !ok {
+			t.Fatalf("sequential RemoveVertex(%d) = false", iso)
+		}
+		ds, ok, err := d.RemoveVertex(iso)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("distributed RemoveVertex(%d) = false", iso)
+		}
+		requireSameStats(t, ss, ds, cfg.T)
+		if len(ss.Dirty) != 1 || ss.Dirty[0] != iso {
+			t.Fatalf("workers=%d: isolated removal Dirty = %v, want [%d]", workers, ss.Dirty, iso)
+		}
+		if d.Graph().HasVertex(iso) || d.Labels(iso) != nil {
+			t.Fatalf("workers=%d: distributed engine still serves removed vertex %d", workers, iso)
+		}
+		requireSameLabels(t, seq.Graph(), seq, d)
+
+		// AddVertex mirrors too: presence-only change, Dirty = [v].
+		as, ok := seq.AddVertex(iso)
+		if !ok || len(as.Dirty) != 1 || as.Dirty[0] != iso {
+			t.Fatalf("sequential AddVertex stats = %+v ok=%v", as, ok)
+		}
+		das, ok := d.AddVertex(iso)
+		if !ok || !reflect.DeepEqual(as, das) {
+			t.Fatalf("workers=%d: distributed AddVertex stats %+v ok=%v, want %+v", workers, das, ok, as)
+		}
+		if d.Labels(iso) == nil || seq.Labels(iso) == nil {
+			t.Fatal("re-added isolated vertex has no labels")
+		}
+		requireSameLabels(t, seq.Graph(), seq, d)
+	}
+}
+
 // TestUpdatePostprocessMatchesRecompute checks the paper's central dynamic
 // claim end-to-end on the distributed driver: after a dynamic batch,
 // Update+Postprocess recovers the same community structure as a full

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"rslpa/internal/core"
+	"rslpa/internal/graph"
+)
+
+// Epoch returns the number of Update batches applied so far (restored
+// checkpoints resume their saved epoch). It mirrors core.State.Epoch so a
+// service can publish snapshot epochs that equal the detector's own batch
+// counter in every execution mode.
+func (d *RSLPA) Epoch() uint64 { return d.epoch }
+
+// AddVertex inserts an isolated vertex on its owner's shard and the master
+// graph, mirroring core.State.AddVertex: ok is false if the vertex already
+// existed, and the returned stats carry v in Dirty — the presence bit
+// changed even though no labels did, and a copy-on-write snapshot must
+// reclone the shard that now serves it.
+func (d *RSLPA) AddVertex(v uint32) (core.UpdateStats, bool) {
+	if d.g.HasVertex(v) {
+		return core.UpdateStats{}, false
+	}
+	d.g.AddVertex(v)
+	d.shards[d.eng.Owner(v)].addVertex(v, d.cfg.T)
+	return core.UpdateStats{Dirty: []uint32{v}}, true
+}
+
+// RemoveVertex deletes a vertex and its incident edges, repairing all
+// affected labels through the distributed Update path — the paper's rule:
+// deletion is handled by deleting the incident edges and then ignoring the
+// vertex. It mirrors core.State.RemoveVertex batch-for-batch (same induced
+// edge-deletion batch, same epoch advance), so the surviving label matrix
+// stays bit-identical to the sequential engine's; ok is false if the vertex
+// was absent. As in the sequential engine, Dirty always includes v itself,
+// even for an isolated vertex whose induced batch is empty.
+func (d *RSLPA) RemoveVertex(v uint32) (core.UpdateStats, bool, error) {
+	if !d.g.HasVertex(v) {
+		return core.UpdateStats{}, false, nil
+	}
+	nbrs := d.g.Neighbors(v)
+	batch := make([]graph.Edit, 0, len(nbrs))
+	for _, u := range nbrs {
+		batch = append(batch, graph.Edit{Op: graph.Delete, U: v, V: u})
+	}
+	stats, err := d.Update(batch)
+	if err != nil {
+		return core.UpdateStats{}, false, err
+	}
+	// After the batch no external pick references v (its former neighbors
+	// all re-picked away), and v's own picks are self-picks recorded at v
+	// itself; dropping the shard state wholesale is safe — the same
+	// argument core.State.RemoveVertex relies on.
+	d.g.RemoveVertex(v)
+	sh := d.shards[d.eng.Owner(v)]
+	if int(v) < len(sh.exists) && sh.exists[v] {
+		sh.exists[v] = false
+		sh.adj[v] = nil
+		sh.labels[v] = nil
+		sh.src[v] = nil
+		sh.pos[v] = nil
+		sh.recv[v] = nil
+		// Preserve the owned order for the survivors: it is the per-round
+		// iteration order, so a swap-removal would perturb message order.
+		for i, u := range sh.owned {
+			if u == v {
+				sh.owned = append(sh.owned[:i], sh.owned[i+1:]...)
+				break
+			}
+		}
+	}
+	stats.Dirty = core.MergeDirty(stats.Dirty, v)
+	return stats, true, nil
+}

@@ -1,0 +1,67 @@
+package replica
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HTTP front end of a follower: the read half of the writer's API plus
+// replication-lag observability. Notably absent: POST /edits — a replica
+// is read-only; writes belong to the writer.
+//
+//	GET /communities   the current local snapshot's cover with its epoch
+//	GET /vertex/{v}    membership and degree of one vertex
+//	GET /stats         inner service counters plus follower_epoch,
+//	                   writer_epoch, lag_batches, catchup_total,
+//	                   rebootstraps and replication_error
+//	GET /healthz       200 while the tail loop runs, 503 after Close
+//
+// /communities and /vertex/{v} delegate to the inner read service's own
+// handler, so responses are byte-compatible with the writer's — a load
+// balancer can mix writer and followers for reads.
+
+// Handler returns the follower's HTTP front end.
+func (f *Follower) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /communities", f.delegate)
+	mux.HandleFunc("GET /vertex/{v}", f.delegate)
+	mux.HandleFunc("GET /stats", f.handleStats)
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	return mux
+}
+
+// delegate serves a read endpoint from the current replay generation.
+func (f *Follower) delegate(w http.ResponseWriter, r *http.Request) {
+	f.cur.Load().h.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (f *Follower) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.Stats())
+}
+
+func (f *Follower) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-f.quit:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": ErrClosed.Error()})
+		return
+	default:
+	}
+	st := f.Stats()
+	body := map[string]any{
+		"follower_epoch": st.FollowerEpoch,
+		"writer_epoch":   st.WriterEpoch,
+		"lag_batches":    st.LagBatches,
+	}
+	if st.ReplicationError != "" {
+		// Liveness stays 200 — local snapshots keep serving — but a stuck
+		// tail loop must be visible to operators.
+		body["replication_error"] = st.ReplicationError
+	}
+	writeJSON(w, http.StatusOK, body)
+}

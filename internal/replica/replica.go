@@ -1,0 +1,386 @@
+// Package replica implements the read tier of the streaming service: a
+// read-only Follower that bootstraps from a writer's checkpoint, tails its
+// replication feed, and replays the writer's exact canonical batches
+// through its own detector, publishing local copy-on-write snapshots for
+// GET /communities, /vertex/{v} and /stats. Because the detector is
+// deterministic — the same canonical batch applied at the same epoch
+// produces the same label matrix bit for bit — a follower's snapshot at
+// epoch E hash-matches the writer's epoch-E snapshot, so any number of
+// followers scale query throughput horizontally while the single writer
+// keeps ingesting.
+//
+// The protocol (served by internal/stream when Options.JournalDepth > 0):
+//
+//	GET /checkpoint         bootstrap: the writer's detector at epoch C
+//	GET /feed?from=E&max=N  the canonical batches with epochs (E, E+N]
+//
+// The feed's journal horizon is bounded; a follower that falls behind it
+// gets 410 Gone and re-bootstraps from the latest checkpoint. The tail
+// loop retries with exponential backoff across writer outages and
+// restarts, and re-bootstraps if the writer's epoch regressed below the
+// follower's (a crash-restarted writer that lost batches past its last
+// checkpoint — epoch numbers would otherwise be reused for different
+// batches and the replica would silently diverge).
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rslpa/internal/core"
+	"rslpa/internal/graph"
+	"rslpa/internal/postprocess"
+	"rslpa/internal/stream"
+)
+
+// Options configures a Follower. WriterURL is required; the zero value of
+// everything else selects defaults.
+type Options struct {
+	// WriterURL is the base URL of the writer's HTTP handler, e.g.
+	// "http://writer:8080".
+	WriterURL string
+	// PollInterval is how often the tail loop polls the feed while caught
+	// up. Default 50ms.
+	PollInterval time.Duration
+	// RetryMin/RetryMax bound the exponential backoff after a failed feed
+	// or bootstrap request. Defaults 100ms and 5s.
+	RetryMin, RetryMax time.Duration
+	// FeedMax is the number of batches requested per feed poll.
+	// Default 64.
+	FeedMax int
+	// Extraction configures snapshot community extraction. It should match
+	// the writer's so GET /communities answers agree (label matrices agree
+	// regardless — determinism pins them to the feed, not to this).
+	Extraction postprocess.Config
+	// Client is the HTTP client used against the writer. Defaults to a
+	// client with a 30s timeout.
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 50 * time.Millisecond
+	}
+	if o.RetryMin <= 0 {
+		o.RetryMin = 100 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 5 * time.Second
+	}
+	if o.RetryMax < o.RetryMin {
+		o.RetryMax = o.RetryMin
+	}
+	if o.FeedMax <= 0 {
+		o.FeedMax = 64
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return o
+}
+
+// Stats is a point-in-time reading of a follower's counters: the inner
+// read service's counters plus the replication-lag gauges.
+type Stats struct {
+	stream.Stats
+	// FollowerEpoch is the epoch of the currently published snapshot.
+	FollowerEpoch uint64 `json:"follower_epoch"`
+	// WriterEpoch is the writer's epoch as of the last successful feed
+	// poll (0 until the first poll completes).
+	WriterEpoch uint64 `json:"writer_epoch"`
+	// LagBatches is WriterEpoch − FollowerEpoch, clamped at 0: how many
+	// applied writer batches this follower has not replayed yet.
+	LagBatches uint64 `json:"lag_batches"`
+	// CatchupTotal counts every batch replayed from the feed since the
+	// follower started (across re-bootstraps).
+	CatchupTotal uint64 `json:"catchup_total"`
+	// Rebootstraps counts checkpoint re-bootstraps after the initial one
+	// (journal horizon overruns, writer epoch regressions, replay
+	// divergence).
+	Rebootstraps uint64 `json:"rebootstraps"`
+	// ReplicationError is the last tail-loop error, cleared by the next
+	// successful poll.
+	ReplicationError string `json:"replication_error,omitempty"`
+}
+
+// replayState is one bootstrapped generation of the follower: the inner
+// read-only service over the replayed detector, and its HTTP front end
+// (built once; serving delegates to it). A re-bootstrap swaps in a whole
+// new generation; snapshots held from the old one stay valid.
+type replayState struct {
+	svc *stream.Service
+	h   http.Handler
+}
+
+// Follower tails a writer and serves read queries from local snapshots.
+// Create one with New; always Close it.
+type Follower struct {
+	opts Options
+
+	cur  atomic.Pointer[replayState]
+	quit chan struct{}
+	done chan struct{}
+
+	closeOnce sync.Once
+
+	writerEpoch  atomic.Uint64
+	catchupTotal atomic.Uint64
+	rebootstraps atomic.Uint64
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// seqDetector adapts core.State to stream.Detector for replay. The feed
+// carries the writer's canonical batches; replaying one against the
+// bit-identical follower graph re-canonicalizes to itself, so the inner
+// service's coalescer is a fixed point and every feed batch advances the
+// state by exactly one epoch.
+type seqDetector struct{ st *core.State }
+
+func (d seqDetector) Update(b []graph.Edit) (core.UpdateStats, error) { return d.st.Update(b), nil }
+func (d seqDetector) Labels(v uint32) []uint32                        { return d.st.Labels(v) }
+func (d seqDetector) Graph() *graph.Graph                             { return d.st.Graph() }
+func (d seqDetector) Save(w io.Writer) error                          { return d.st.SaveCheckpoint(w) }
+
+// New bootstraps a follower from the writer's current checkpoint and
+// starts the tail loop. The initial bootstrap is synchronous — an
+// unreachable or journal-less writer fails fast — while later outages are
+// retried with backoff inside the loop.
+func New(opts Options) (*Follower, error) {
+	if opts.WriterURL == "" {
+		return nil, fmt.Errorf("replica: WriterURL is required")
+	}
+	f := &Follower{
+		opts: opts.withDefaults(),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	rs, err := f.bootstrap()
+	if err != nil {
+		return nil, fmt.Errorf("replica: bootstrap: %w", err)
+	}
+	f.cur.Store(rs)
+	go f.loop()
+	return f, nil
+}
+
+// bootstrap fetches the writer's checkpoint and builds a fresh replay
+// generation at its epoch.
+func (f *Follower) bootstrap() (*replayState, error) {
+	resp, err := f.opts.Client.Get(f.opts.WriterURL + "/checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /checkpoint: %s: %s", resp.Status, bodyText(body))
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(stream.CheckpointEpochHeader), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint epoch header: %w", err)
+	}
+	ck, err := core.ReadCheckpoint(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	st, err := ck.BuildState()
+	if err != nil {
+		return nil, err
+	}
+	if st.Epoch() != epoch {
+		return nil, fmt.Errorf("checkpoint epoch %d does not match header %d", st.Epoch(), epoch)
+	}
+	// The inner service never flushes on its own — MaxBatch and
+	// FlushInterval are effectively infinite — so the tail loop's
+	// Submit+Drain per feed batch maps one feed batch to exactly one
+	// epoch, keeping follower epochs aligned with the writer's.
+	svc, err := stream.New(seqDetector{st}, stream.Options{
+		MaxBatch:      1 << 30,
+		FlushInterval: 24 * time.Hour,
+		Extraction:    f.opts.Extraction,
+		BaseEpoch:     st.Epoch(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &replayState{svc: svc, h: svc.Handler()}, nil
+}
+
+// bodyText renders an HTTP error body for diagnostics, bounded.
+func bodyText(b []byte) string {
+	const max = 256
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// loop is the tail loop: poll the feed, replay, and keep lag low. Only
+// this goroutine mutates f.cur after New.
+func (f *Follower) loop() {
+	defer close(f.done)
+	defer func() {
+		if rs := f.cur.Load(); rs != nil {
+			rs.svc.Close()
+		}
+	}()
+	backoff := f.opts.RetryMin
+	for {
+		behind, err := f.poll()
+		wait := f.opts.PollInterval
+		switch {
+		case err != nil:
+			f.setErr(err)
+			wait, backoff = backoff, min(backoff*2, f.opts.RetryMax)
+		case behind:
+			// More batches are probably waiting: poll again immediately.
+			f.setErr(nil)
+			backoff = f.opts.RetryMin
+			wait = 0
+		default:
+			f.setErr(nil)
+			backoff = f.opts.RetryMin
+		}
+		select {
+		case <-f.quit:
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+// poll performs one feed round-trip and replays whatever it returned.
+// behind reports that a full page arrived (more batches likely pending).
+func (f *Follower) poll() (behind bool, err error) {
+	rs := f.cur.Load()
+	from := rs.svc.Snapshot().Epoch()
+	url := fmt.Sprintf("%s/feed?from=%d&max=%d", f.opts.WriterURL, from, f.opts.FeedMax)
+	resp, err := f.opts.Client.Get(url)
+	if err != nil {
+		return false, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		// Behind the journal horizon: the writer has forgotten the batches
+		// we need. Start over from its latest checkpoint.
+		return true, f.rebootstrap("behind journal horizon")
+	default:
+		return false, fmt.Errorf("GET /feed: %s: %s", resp.Status, bodyText(body))
+	}
+	var feed stream.FeedResponse
+	if err := json.Unmarshal(body, &feed); err != nil {
+		return false, fmt.Errorf("decode feed: %w", err)
+	}
+	f.writerEpoch.Store(feed.WriterEpoch)
+	if feed.WriterEpoch < from {
+		// The writer restarted from a checkpoint older than our replay
+		// position: the epochs we already applied will be reassigned to
+		// different batches. Rewind to the writer's truth.
+		return true, f.rebootstrap(fmt.Sprintf("writer epoch regressed to %d (follower at %d)", feed.WriterEpoch, from))
+	}
+	for _, entry := range feed.Batches {
+		batch, err := entry.GraphEdits()
+		if err != nil {
+			return false, err
+		}
+		if err := rs.svc.Submit(batch...); err != nil {
+			return false, err
+		}
+		if err := rs.svc.Drain(); err != nil {
+			return false, err
+		}
+		got := rs.svc.Snapshot().Epoch()
+		if got != entry.Epoch {
+			// Replay divergence (a batch coalesced to nothing, or skipped
+			// an epoch): the replica can no longer trust its state.
+			return true, f.rebootstrap(fmt.Sprintf("replayed feed batch %d landed at epoch %d", entry.Epoch, got))
+		}
+		f.catchupTotal.Add(1)
+	}
+	return len(feed.Batches) >= f.opts.FeedMax, nil
+}
+
+// rebootstrap replaces the replay generation with a fresh one built from
+// the writer's latest checkpoint. The reason is recorded as the
+// replication error until the next healthy poll.
+func (f *Follower) rebootstrap(reason string) error {
+	rs, err := f.bootstrap()
+	if err != nil {
+		return fmt.Errorf("re-bootstrap (%s): %w", reason, err)
+	}
+	// Count before publishing the new generation: an observer that sees
+	// the post-bootstrap epoch must also see the counter tick.
+	f.rebootstraps.Add(1)
+	old := f.cur.Swap(rs)
+	if old != nil {
+		old.svc.Close()
+	}
+	return fmt.Errorf("re-bootstrapped from checkpoint at epoch %d (%s)", rs.svc.Snapshot().Epoch(), reason)
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+func (f *Follower) replicationErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+// Snapshot returns the current immutable snapshot of the replayed state.
+// Held snapshots survive re-bootstraps and Close.
+func (f *Follower) Snapshot() *stream.Snapshot { return f.cur.Load().svc.Snapshot() }
+
+// Stats returns the follower's counters.
+func (f *Follower) Stats() Stats {
+	rs := f.cur.Load()
+	st := Stats{
+		Stats:        rs.svc.Stats(),
+		WriterEpoch:  f.writerEpoch.Load(),
+		CatchupTotal: f.catchupTotal.Load(),
+		Rebootstraps: f.rebootstraps.Load(),
+	}
+	st.FollowerEpoch = st.Epoch
+	if st.WriterEpoch > st.FollowerEpoch {
+		st.LagBatches = st.WriterEpoch - st.FollowerEpoch
+	}
+	if err := f.replicationErr(); err != nil {
+		st.ReplicationError = err.Error()
+	}
+	return st
+}
+
+// ErrClosed is returned by operations on a closed follower.
+var ErrClosed = errors.New("replica: follower is closed")
+
+// Close stops the tail loop and the inner read service. Queries against
+// held snapshots keep working.
+func (f *Follower) Close() error {
+	f.closeOnce.Do(func() {
+		close(f.quit)
+		<-f.done
+	})
+	return nil
+}

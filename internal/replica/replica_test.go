@@ -1,0 +1,294 @@
+package replica
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rslpa/internal/core"
+	"rslpa/internal/dynamic"
+	"rslpa/internal/graph"
+	"rslpa/internal/lfr"
+	"rslpa/internal/stream"
+)
+
+// labelHash folds a label matrix (plus the edge count) into one word; two
+// states hash equal iff their detection state is bit-identical over
+// [0, maxID).
+func labelHash(maxID uint32, edges int, labels func(uint32) []uint32) uint64 {
+	h := fnv.New64a()
+	word := func(x uint32) {
+		h.Write([]byte{byte(x), byte(x >> 8), byte(x >> 16), byte(x >> 24)})
+	}
+	word(uint32(edges))
+	for v := uint32(0); v < maxID; v++ {
+		seq := labels(v)
+		word(uint32(len(seq)))
+		for _, l := range seq {
+			word(l)
+		}
+	}
+	return h.Sum64()
+}
+
+func snapshotHash(maxID uint32, sn *stream.Snapshot) uint64 {
+	return labelHash(maxID, sn.NumEdges(), sn.Labels)
+}
+
+// testFixture builds a 150-vertex LFR graph and a detector state over it.
+func testFixture(t testing.TB) (*graph.Graph, *core.State) {
+	t.Helper()
+	p := lfr.Default(150)
+	p.Seed = 23
+	res, err := lfr.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.Run(res.Graph, core.Config{T: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph, st
+}
+
+// newWriter starts a journaling writer service over st.
+func newWriter(t testing.TB, st *core.State, opts stream.Options) *stream.Service {
+	t.Helper()
+	svc, err := stream.New(seqDetector{st}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// applyStream drains each batch through the writer, one epoch per batch.
+func applyStream(t testing.TB, w *stream.Service, batches [][]graph.Edit) {
+	t.Helper()
+	for _, batch := range batches {
+		if err := w.Submit(batch...); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// waitFollowerEpoch blocks until the follower's published epoch reaches
+// want.
+func waitFollowerEpoch(t testing.TB, f *Follower, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st := f.Stats(); st.FollowerEpoch >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			st := f.Stats()
+			t.Fatalf("follower stuck at epoch %d (want %d): %+v", st.FollowerEpoch, want, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestFollowerTailsWriter(t *testing.T) {
+	g, st := testFixture(t)
+	maxID := uint32(g.MaxVertexID())
+	w := newWriter(t, st, stream.Options{
+		MaxBatch: 1 << 20, FlushInterval: time.Hour, JournalDepth: 1024,
+	})
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	evolving := g.Clone()
+	batches, err := dynamic.Stream(evolving, 40, 6, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, w, batches[:3])
+
+	f, err := New(Options{
+		WriterURL: srv.URL, PollInterval: 2 * time.Millisecond,
+		RetryMin: time.Millisecond, RetryMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	waitFollowerEpoch(t, f, 3)
+	if got, want := snapshotHash(maxID, f.Snapshot()), snapshotHash(maxID, w.Snapshot()); got != want {
+		t.Fatalf("follower diverged after catch-up: %x vs %x", got, want)
+	}
+
+	// Keep streaming: the follower tails the live feed.
+	applyStream(t, w, batches[3:])
+	waitFollowerEpoch(t, f, 6)
+	if got, want := snapshotHash(maxID, f.Snapshot()), snapshotHash(maxID, w.Snapshot()); got != want {
+		t.Fatalf("follower diverged while tailing: %x vs %x", got, want)
+	}
+
+	st2 := f.Stats()
+	if st2.FollowerEpoch != 6 || st2.WriterEpoch != 6 || st2.LagBatches != 0 {
+		t.Fatalf("lag counters: %+v", st2)
+	}
+	if st2.CatchupTotal == 0 {
+		t.Fatalf("catchup_total not counted: %+v", st2)
+	}
+	if st2.Rebootstraps != 0 {
+		t.Fatalf("unexpected re-bootstraps: %+v", st2)
+	}
+}
+
+func TestFollowerHTTPReadTier(t *testing.T) {
+	g, st := testFixture(t)
+	_ = g
+	w := newWriter(t, st, stream.Options{
+		MaxBatch: 1 << 20, FlushInterval: time.Hour, JournalDepth: 1024,
+	})
+	wsrv := httptest.NewServer(w.Handler())
+	defer wsrv.Close()
+
+	f, err := New(Options{WriterURL: wsrv.URL, PollInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fsrv := httptest.NewServer(f.Handler())
+	defer fsrv.Close()
+
+	var comm struct {
+		Epoch       uint64  `json:"epoch"`
+		Vertices    int     `json:"vertices"`
+		Communities [][]int `json:"communities"`
+	}
+	if code := getJSON(t, fsrv.URL+"/communities", &comm); code != http.StatusOK {
+		t.Fatalf("GET /communities: %d", code)
+	}
+	if comm.Vertices == 0 || len(comm.Communities) == 0 {
+		t.Fatalf("empty communities response: %+v", comm)
+	}
+
+	var vert map[string]any
+	if code := getJSON(t, fsrv.URL+"/vertex/3", &vert); code != http.StatusOK {
+		t.Fatalf("GET /vertex/3: %d", code)
+	}
+	if present, _ := vert["present"].(bool); !present {
+		t.Fatalf("vertex 3 missing: %v", vert)
+	}
+
+	var stats Stats
+	if code := getJSON(t, fsrv.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	if stats.CatchupTotal != 0 && stats.FollowerEpoch == 0 {
+		t.Fatalf("inconsistent stats: %+v", stats)
+	}
+
+	var h map[string]any
+	if code := getJSON(t, fsrv.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", code)
+	}
+	for _, k := range []string{"follower_epoch", "writer_epoch", "lag_batches"} {
+		if _, ok := h[k]; !ok {
+			t.Fatalf("healthz missing %q: %v", k, h)
+		}
+	}
+
+	// A replica is read-only: the write endpoint does not exist here.
+	resp, err := http.Post(fsrv.URL+"/edits", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		t.Fatal("follower accepted a write")
+	}
+
+	f.Close()
+	if code := getJSON(t, fsrv.URL+"/healthz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after close: %d", code)
+	}
+}
+
+// getJSON fetches a URL and decodes the JSON body.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestFollowerRebootstrapsBehindHorizon pins the recovery path: a
+// follower cut off from the feed while the writer's bounded journal rolls
+// past it gets 410 Gone on reconnect, re-bootstraps from the writer's
+// latest checkpoint, and converges to hash-equality.
+func TestFollowerRebootstrapsBehindHorizon(t *testing.T) {
+	g, st := testFixture(t)
+	maxID := uint32(g.MaxVertexID())
+	w := newWriter(t, st, stream.Options{
+		MaxBatch: 1 << 20, FlushInterval: time.Hour,
+		JournalDepth: 2, CheckpointEvery: 2,
+	})
+	inner := w.Handler()
+
+	// Front door that can black-hole the feed: while blocked, the
+	// follower's polls fail and back off, and the writer's journal rolls
+	// past the follower's position.
+	var blockFeed atomic.Bool
+	front := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if blockFeed.Load() && r.URL.Path == "/feed" {
+			http.Error(rw, "partitioned", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	defer front.Close()
+
+	evolving := g.Clone()
+	batches, err := dynamic.Stream(evolving, 40, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, w, batches[:1])
+
+	f, err := New(Options{
+		WriterURL: front.URL, PollInterval: 2 * time.Millisecond,
+		RetryMin: time.Millisecond, RetryMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitFollowerEpoch(t, f, 1)
+
+	// Partition the feed and stream 7 more batches: with a 2-deep journal
+	// the follower's position (epoch 1) falls behind the horizon.
+	blockFeed.Store(true)
+	applyStream(t, w, batches[1:])
+	blockFeed.Store(false)
+
+	waitFollowerEpoch(t, f, 8)
+	if got, want := snapshotHash(maxID, f.Snapshot()), snapshotHash(maxID, w.Snapshot()); got != want {
+		t.Fatalf("follower diverged after re-bootstrap: %x vs %x", got, want)
+	}
+	if st := f.Stats(); st.Rebootstraps == 0 {
+		t.Fatalf("horizon overrun did not re-bootstrap: %+v", st)
+	}
+}

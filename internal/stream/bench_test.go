@@ -11,6 +11,7 @@ import (
 	"rslpa/internal/dynamic"
 	"rslpa/internal/graph"
 	"rslpa/internal/lfr"
+	"rslpa/internal/metrics"
 	"rslpa/internal/postprocess"
 )
 
@@ -123,8 +124,8 @@ func BenchmarkStreamServe(b *testing.B) {
 
 		b.ReportMetric(float64(len(edits))/ingest.Seconds(), "ingest-edits/sec")
 		if len(all) > 0 {
-			b.ReportMetric(float64(all[len(all)/2].Nanoseconds()), "p50-query-ns")
-			b.ReportMetric(float64(all[len(all)*99/100].Nanoseconds()), "p99-query-ns")
+			b.ReportMetric(float64(metrics.Quantile(all, 0.50).Nanoseconds()), "p50-query-ns")
+			b.ReportMetric(float64(metrics.Quantile(all, 0.99).Nanoseconds()), "p99-query-ns")
 			b.ReportMetric(float64(len(all)), "queries")
 		}
 		b.ReportMetric(float64(stats.Batches), "batches")

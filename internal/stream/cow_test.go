@@ -174,6 +174,46 @@ func TestSnapshotServesVertexDeletedAfterPublish(t *testing.T) {
 	}
 }
 
+// TestSnapshotDropsIsolatedVertexDeletedAfterPublish is the COW corner
+// the Dirty contract used to miss: removing an ISOLATED vertex induces an
+// empty edge-deletion batch, so before RemoveVertex carried v in Dirty the
+// publish saw a nil dirty set with zero work and reused every shard — the
+// successor snapshot kept serving the vertex as present.
+func TestSnapshotDropsIsolatedVertexDeletedAfterPublish(t *testing.T) {
+	st, err := core.Run(testGraph(), core.Config{T: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := seqDet{st}
+	if _, ok := st.AddVertex(9); !ok {
+		t.Fatal("AddVertex(9) reported existing")
+	}
+	held := newSnapshot(0, det, postprocess.Config{}, core.UpdateStats{})
+	if !held.HasVertex(9) {
+		t.Fatal("snapshot missing the isolated vertex")
+	}
+
+	stats, ok := st.RemoveVertex(9)
+	if !ok {
+		t.Fatal("RemoveVertex(9) reported absent")
+	}
+	if len(stats.Dirty) != 1 || stats.Dirty[0] != 9 {
+		t.Fatalf("isolated removal Dirty = %v, want [9]", stats.Dirty)
+	}
+	next := nextSnapshot(held, det, stats.Dirty, stats)
+
+	if !held.HasVertex(9) {
+		t.Fatal("held snapshot lost the frozen vertex")
+	}
+	if next.HasVertex(9) || next.Labels(9) != nil {
+		t.Fatalf("COW successor still serves the deleted isolated vertex: present=%v labels=%v",
+			next.HasVertex(9), next.Labels(9))
+	}
+	if next.NumVertices() != held.NumVertices()-1 {
+		t.Fatalf("vertex count %d, held %d", next.NumVertices(), held.NumVertices())
+	}
+}
+
 // TestSnapshotShardBoundary exercises the vertices straddling the first
 // shard boundary (IDs ShardSize-1 and ShardSize) and the COW sharing
 // rules around them: an edit confined to one shard republishes exactly

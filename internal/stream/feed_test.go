@@ -1,0 +1,330 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"rslpa/internal/core"
+	"rslpa/internal/graph"
+)
+
+// newFeedService starts a journaling service over the two-triangle graph
+// behind an httptest server.
+func newFeedService(t *testing.T, opts Options) (*Service, *httptest.Server, *core.State) {
+	t.Helper()
+	st, err := core.Run(testGraph(), core.Config{T: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(seqDet{st}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { srv.Close(); s.Close() })
+	return s, srv, st
+}
+
+// applyBatches drains n single-edit batches through the service, touching
+// a fresh vertex pair each time so every batch survives coalescing.
+func applyBatches(t *testing.T, s *Service, n int, base uint32) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v := base + uint32(i)
+		if err := s.Submit(graph.Edit{Op: graph.Insert, U: 0, V: v}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFeedServesJournaledBatches(t *testing.T) {
+	s, srv, _ := newFeedService(t, Options{FlushInterval: time.Hour, JournalDepth: 64})
+	applyBatches(t, s, 3, 10)
+
+	var feed FeedResponse
+	if code := getJSON(t, srv.URL+"/feed?from=0", &feed); code != http.StatusOK {
+		t.Fatalf("GET /feed?from=0: %d", code)
+	}
+	if feed.WriterEpoch != 3 || feed.OldestEpoch != 1 || len(feed.Batches) != 3 {
+		t.Fatalf("feed: %+v", feed)
+	}
+	for i, b := range feed.Batches {
+		if b.Epoch != uint64(i+1) {
+			t.Fatalf("batch %d epoch %d", i, b.Epoch)
+		}
+		if len(b.Edits) != 1 {
+			t.Fatalf("batch %d carries %d edits", i, len(b.Edits))
+		}
+	}
+
+	// Replaying the feed into a twin reproduces the writer bit-for-bit:
+	// the journaled batches are the writer's exact canonical batches.
+	twin, err := core.Run(testGraph(), core.Config{T: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range feed.Batches {
+		batch := make([]graph.Edit, len(b.Edits))
+		for j, we := range b.Edits {
+			if batch[j], err = we.edit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		twin.Update(batch)
+	}
+	if twin.Epoch() != feed.WriterEpoch {
+		t.Fatalf("twin epoch %d, writer %d", twin.Epoch(), feed.WriterEpoch)
+	}
+	sn := s.Snapshot()
+	twin.Graph().ForEachVertex(func(v uint32) {
+		a, b := sn.Labels(v), twin.Labels(v)
+		for i := range b {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d label %d: writer %d twin %d", v, i, a[i], b[i])
+			}
+		}
+	})
+
+	// A caught-up follower gets an empty page, not an error.
+	if code := getJSON(t, srv.URL+"/feed?from=3", &feed); code != http.StatusOK {
+		t.Fatalf("caught-up feed: %d", code)
+	}
+	if len(feed.Batches) != 0 {
+		t.Fatalf("caught-up feed returned %d batches", len(feed.Batches))
+	}
+
+	// Pagination: max=1 yields exactly the next epoch.
+	if code := getJSON(t, srv.URL+"/feed?from=1&max=1", &feed); code != http.StatusOK {
+		t.Fatalf("paginated feed: %d", code)
+	}
+	if len(feed.Batches) != 1 || feed.Batches[0].Epoch != 2 {
+		t.Fatalf("paginated feed: %+v", feed)
+	}
+}
+
+func TestFeedBehindHorizonRebootstrapsFromCheckpoint(t *testing.T) {
+	s, srv, _ := newFeedService(t, Options{
+		FlushInterval: time.Hour, JournalDepth: 2, CheckpointEvery: 2,
+	})
+	applyBatches(t, s, 7, 10)
+
+	// Epoch 0 fell off the 2-deep journal long ago: 410 Gone, with the
+	// envelope telling the follower how far behind it is.
+	var feed FeedResponse
+	if code := getJSON(t, srv.URL+"/feed?from=0", &feed); code != http.StatusGone {
+		t.Fatalf("behind-horizon feed: %d", code)
+	}
+	if feed.WriterEpoch != 7 || feed.OldestEpoch != 6 {
+		t.Fatalf("410 envelope: %+v", feed)
+	}
+
+	// Re-bootstrap: the checkpoint's epoch always sits inside the journal
+	// horizon (it refreshes every CheckpointEvery ≤ JournalDepth batches),
+	// so the follower can resume the feed from it without a second 410.
+	resp, err := http.Get(srv.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /checkpoint: %d %v", resp.StatusCode, err)
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(CheckpointEpochHeader), 10, 64)
+	if err != nil {
+		t.Fatalf("checkpoint epoch header: %v", err)
+	}
+	ck, err := core.ReadCheckpoint(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	follower, err := ck.BuildState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if follower.Epoch() != epoch || epoch != 6 {
+		t.Fatalf("checkpoint epoch: header %d, state %d, want 6", epoch, follower.Epoch())
+	}
+
+	if code := getJSON(t, srv.URL+"/feed?from="+strconv.FormatUint(epoch, 10), &feed); code != http.StatusOK {
+		t.Fatalf("feed from checkpoint epoch: %d", code)
+	}
+	for _, b := range feed.Batches {
+		batch := make([]graph.Edit, len(b.Edits))
+		for j, we := range b.Edits {
+			if batch[j], err = we.edit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		follower.Update(batch)
+	}
+	sn := s.Snapshot()
+	if follower.Epoch() != sn.Epoch() {
+		t.Fatalf("follower epoch %d, writer %d", follower.Epoch(), sn.Epoch())
+	}
+	follower.Graph().ForEachVertex(func(v uint32) {
+		a, b := sn.Labels(v), follower.Labels(v)
+		for i := range b {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d label %d: writer %d follower %d", v, i, a[i], b[i])
+			}
+		}
+	})
+}
+
+func TestFeedDisabledIs404(t *testing.T) {
+	_, srv := newHTTPService(t) // no JournalDepth
+	var e map[string]any
+	if code := getJSON(t, srv.URL+"/feed?from=0", &e); code != http.StatusNotFound {
+		t.Fatalf("GET /feed without journaling: %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /checkpoint without journaling: %d", resp.StatusCode)
+	}
+}
+
+func TestFeedBadParams(t *testing.T) {
+	_, srv, _ := newFeedService(t, Options{FlushInterval: time.Hour, JournalDepth: 8})
+	var e map[string]any
+	if code := getJSON(t, srv.URL+"/feed", &e); code != http.StatusBadRequest {
+		t.Fatalf("feed without from: %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/feed?from=0&max=-1", &e); code != http.StatusBadRequest {
+		t.Fatalf("feed with negative max: %d", code)
+	}
+}
+
+// TestCheckpointReadBackAlwaysLoadable pins the durability contract: after
+// every drain that rolled a checkpoint, the file on disk parses, verifies,
+// and rebuilds into a State at the recorded epoch — never truncated or
+// half-renamed.
+func TestCheckpointReadBackAlwaysLoadable(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "service.ckpt")
+	st, err := core.Run(testGraph(), core.Config{T: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(seqDet{st}, Options{
+		FlushInterval: time.Hour, CheckpointPath: ckpt, CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Submit(graph.Edit{Op: graph.Insert, U: 0, V: 10 + uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(ckpt)
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		ck, err := core.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("drain %d: checkpoint unreadable: %v", i, err)
+		}
+		if err := ck.Verify(); err != nil {
+			t.Fatalf("drain %d: checkpoint inconsistent: %v", i, err)
+		}
+		restored, err := ck.BuildState()
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		if restored.Epoch() != uint64(i+1) {
+			t.Fatalf("drain %d: restored epoch %d", i, restored.Epoch())
+		}
+	}
+}
+
+// TestReadyzReflectsCheckpointHealth pins the degraded-durability
+// surfacing: /healthz stays 200 (liveness: queries are served) but carries
+// checkpoint_error, /readyz goes 503, and Stats counts the failed flush —
+// all cleared again by the next successful checkpoint.
+func TestReadyzReflectsCheckpointHealth(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "service.ckpt")
+	if err := os.Mkdir(ckpt, 0o755); err != nil { // rename target blocked
+		t.Fatal(err)
+	}
+	st, err := core.Run(testGraph(), core.Config{T: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(seqDet{st}, Options{
+		FlushInterval: time.Hour, CheckpointPath: ckpt, CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer func() { srv.Close(); s.Close() }()
+
+	var h map[string]any
+	if code := getJSON(t, srv.URL+"/readyz", &h); code != http.StatusOK {
+		t.Fatalf("initial readyz: %d", code)
+	}
+
+	if err := s.Submit(graph.Edit{Op: graph.Insert, U: 0, V: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err == nil {
+		t.Fatal("blocked checkpoint not reported by drain")
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz while degraded: %d (must stay live)", code)
+	}
+	if _, ok := h["checkpoint_error"]; !ok {
+		t.Fatalf("healthz body hides the checkpoint failure: %v", h)
+	}
+	if code := getJSON(t, srv.URL+"/readyz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while degraded: %d", code)
+	}
+	if st := s.Stats(); st.FlushErrors == 0 {
+		t.Fatalf("flush_errors not counted: %+v", st)
+	}
+
+	// Recovery: unblock the target; the next checkpoint clears everything.
+	if err := os.Remove(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(graph.Edit{Op: graph.Insert, U: 1, V: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, srv.URL+"/readyz", &h); code != http.StatusOK {
+		t.Fatalf("readyz after recovery: %d", code)
+	}
+	// Fresh map: Unmarshal into a reused one would keep the stale key.
+	var h2 map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &h2); code != http.StatusOK {
+		t.Fatalf("healthz after recovery: %d", code)
+	}
+	if _, ok := h2["checkpoint_error"]; ok {
+		t.Fatalf("stale checkpoint_error after recovery: %v", h2)
+	}
+}

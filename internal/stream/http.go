@@ -28,6 +28,13 @@ const maxEditBody = 16 << 20
 //	                   COW publication meters last_publish_micros,
 //	                   shards_republished and snapshot_shards
 //	GET  /healthz      200 while the service accepts edits, 503 after Close
+//	                   or a latched detector failure; the body surfaces a
+//	                   degraded checkpoint_error while durability suffers
+//	GET  /readyz       like /healthz but strict: 503 also while the last
+//	                   checkpoint write failed (traffic should drain away
+//	                   from a writer that is losing durability)
+//	GET  /feed         replication feed for followers (see feed.go)
+//	GET  /checkpoint   bootstrap checkpoint for followers (see feed.go)
 //
 // Failure semantics of POST /edits: after a detector failure the service
 // latches — Submit still accepts edits (202 without ?wait), but batches
@@ -55,6 +62,15 @@ func (e editJSON) edit() (graph.Edit, error) {
 	}
 }
 
+// wireEdit is the inverse of editJSON.edit, used by the replication feed.
+func wireEdit(e graph.Edit) editJSON {
+	op := "insert"
+	if e.Op == graph.Delete {
+		op = "delete"
+	}
+	return editJSON{Op: op, U: e.U, V: e.V}
+}
+
 // Handler returns the service's HTTP front end.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -63,6 +79,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /vertex/{v}", s.handleVertex)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /feed", s.handleFeed)
+	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -197,6 +216,36 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"epoch": s.snap.Load().Epoch()})
+		body := map[string]any{"epoch": s.snap.Load().Epoch()}
+		if err := s.checkpointFailure(); err != nil {
+			// Liveness stays 200 — detection state is healthy and queries
+			// are served — but the degraded durability must be visible, not
+			// swallowed: deployments alert on this field (or on /readyz,
+			// which turns it into a non-200).
+			body["checkpoint_error"] = err.Error()
+		}
+		writeJSON(w, http.StatusOK, body)
 	}
+}
+
+// handleReadyz is the strict readiness probe: unlike /healthz it also
+// fails while the most recent checkpoint write failed, so a load balancer
+// drains traffic from a writer that is losing durability even though it
+// still answers queries.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.quit:
+		writeError(w, http.StatusServiceUnavailable, ErrClosed)
+		return
+	default:
+	}
+	if err := s.failureErr(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err := s.checkpointFailure(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": s.snap.Load().Epoch()})
 }

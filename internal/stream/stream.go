@@ -39,12 +39,28 @@
 // snapshot hashes identical to a full clone at the same epoch.
 //
 // The service optionally checkpoints the detector every few batches
-// through its Save method (atomic tmp+rename), so a restarted process can
-// resume maintenance bit-identically via the library's LoadDetector path.
-// Temp files orphaned by a crash mid-checkpoint are swept at startup.
+// through its Save method (atomic tmp+rename+fsync), so a restarted
+// process can resume maintenance bit-identically via the library's
+// LoadDetector path. Temp files orphaned by a crash mid-checkpoint are
+// swept at startup.
+//
+// # Replication feed
+//
+// With Options.JournalDepth > 0 the service additionally keeps the last
+// JournalDepth applied canonical batches (each stamped with the epoch it
+// produced) plus an in-memory detector checkpoint, and the HTTP handler
+// serves them as GET /feed?from=<epoch> and GET /checkpoint. A read-only
+// follower (internal/replica) bootstraps from the checkpoint and tails
+// the feed, replaying the writer's exact canonical batches through its
+// own detector — determinism makes the follower's snapshot at epoch E
+// bit-identical to the writer's, so GET /communities and /vertex/{v}
+// scale horizontally across replicas while the single writer ingests. A
+// follower that falls behind the bounded journal horizon gets 410 Gone
+// and re-bootstraps from the latest checkpoint.
 package stream
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -100,6 +116,20 @@ type Options struct {
 	// CheckpointEvery is the number of applied batches between
 	// checkpoints. Default 16 (when CheckpointPath is set).
 	CheckpointEvery int
+	// BaseEpoch is the epoch of the initial snapshot (default 0). A caller
+	// whose detector resumed from a checkpoint passes the detector's own
+	// batch counter here so the service's snapshot epochs equal the
+	// detector's epochs globally — across restarts, and between a writer
+	// and the followers that replay its feed.
+	BaseEpoch uint64
+	// JournalDepth, when positive, makes the service retain the last
+	// JournalDepth applied canonical batches (with their epochs) and an
+	// in-memory checkpoint of the detector, which the HTTP handler serves
+	// as GET /feed and GET /checkpoint for follower replicas. It is
+	// clamped to at least CheckpointEvery so a follower that bootstraps
+	// from the latest checkpoint always starts inside the journal horizon.
+	// Zero disables journaling (the feed endpoints answer 404).
+	JournalDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +144,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 16
+	}
+	if o.JournalDepth > 0 && o.JournalDepth < o.CheckpointEvery {
+		o.JournalDepth = o.CheckpointEvery
 	}
 	return o
 }
@@ -137,6 +170,12 @@ type Stats struct {
 	Batches        uint64 `json:"batches"`         // Update calls
 	Checkpoints    uint64 `json:"checkpoints"`     // checkpoint files written
 	Queries        uint64 `json:"queries"`         // Snapshot loads
+	// FlushErrors counts flushes that failed (detector update or checkpoint
+	// write) — including the ones on the ticker and MaxBatch paths, which
+	// have no caller to return an error to. A nonzero count with a healthy
+	// LastError means an earlier transient checkpoint failure; a growing
+	// count means flushes keep failing.
+	FlushErrors uint64 `json:"flush_errors"`
 
 	LastBatchEdits    int   `json:"last_batch_edits"`
 	LastUpdateMicros  int64 `json:"last_update_micros"`
@@ -209,6 +248,25 @@ type Service struct {
 	lastErr error // detector failure (latching)
 	ckptErr error // most recent checkpoint failure (cleared by success)
 	failed  bool  // a detector Update failed; the service stops applying
+
+	// Replication journal (JournalDepth > 0): the last JournalDepth applied
+	// canonical batches plus an in-memory checkpoint, written only by the
+	// maintenance goroutine and read by the feed/checkpoint HTTP handlers.
+	// sinceMemCkpt is maintenance-goroutine-private.
+	jmu          sync.RWMutex
+	journal      []feedBatch
+	journalEpoch uint64 // epoch of the newest journaled batch (BaseEpoch when empty)
+	ckptData     []byte // serialized detector at ckptEpoch
+	ckptEpoch    uint64
+	sinceMemCkpt int
+}
+
+// feedBatch is one journaled canonical batch: the edits that advanced the
+// detector from epoch-1 to epoch. The edits slice is the coalescer's own
+// freshly allocated flush output and is never mutated after journaling.
+type feedBatch struct {
+	epoch uint64
+	edits []graph.Edit
 }
 
 // New starts a service over det. The detector must not be used by the
@@ -233,18 +291,43 @@ func New(det Detector, opts Options) (*Service, error) {
 		// our own.
 		sweepCheckpointTemps(opts.CheckpointPath)
 	}
-	// Epoch 0: the detector's state as handed in, so queries are served
-	// from the first instant. Snapshots share one pool of extraction
-	// scratches for the service's lifetime, so the per-vertex tables are
-	// reused between epochs instead of reallocated per extraction.
-	sn0 := newSnapshot(0, det, opts.Extraction, core.UpdateStats{})
+	// Epoch BaseEpoch (default 0): the detector's state as handed in, so
+	// queries are served from the first instant. Snapshots share one pool
+	// of extraction scratches for the service's lifetime, so the per-vertex
+	// tables are reused between epochs instead of reallocated per
+	// extraction.
+	sn0 := newSnapshot(opts.BaseEpoch, det, opts.Extraction, core.UpdateStats{})
 	sn0.scratch = &sync.Pool{New: func() any { return new(postprocess.ExtractScratch) }}
 	s.snap.Store(sn0)
+	s.st.Epoch = sn0.Epoch()
 	s.st.Vertices = sn0.NumVertices()
 	s.st.Edges = sn0.NumEdges()
 	s.st.SnapshotShards = sn0.NumShards()
+	if opts.JournalDepth > 0 {
+		// Followers bootstrap from the in-memory checkpoint, so it must
+		// exist before the first feed request can arrive.
+		s.journalEpoch = opts.BaseEpoch
+		if err := s.refreshMemCheckpoint(opts.BaseEpoch); err != nil {
+			return nil, fmt.Errorf("stream: initial journal checkpoint: %w", err)
+		}
+	}
 	go s.loop()
 	return s, nil
+}
+
+// refreshMemCheckpoint serializes the detector (currently at the given
+// epoch) into the in-memory checkpoint the feed tier bootstraps from.
+// Called only from New and the maintenance goroutine.
+func (s *Service) refreshMemCheckpoint(epoch uint64) error {
+	var buf bytes.Buffer
+	if err := s.det.Save(&buf); err != nil {
+		return err
+	}
+	s.jmu.Lock()
+	s.ckptData = buf.Bytes()
+	s.ckptEpoch = epoch
+	s.jmu.Unlock()
+	return nil
 }
 
 // sweepCheckpointTemps removes stale temporary checkpoint files (the
@@ -326,6 +409,14 @@ func (s *Service) drainErr() error {
 		return s.ckptErr
 	}
 	return ErrClosed
+}
+
+// checkpointFailure returns the most recent checkpoint failure, if any
+// (cleared by the next successful checkpoint).
+func (s *Service) checkpointFailure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptErr
 }
 
 // failureErr returns the latched detector failure, if any.
@@ -483,6 +574,7 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 		s.failed = true
 		s.lastErr = fmt.Errorf("stream: detector update failed: %w", err)
 		err = s.lastErr
+		s.st.FlushErrors++
 		s.mu.Unlock()
 		return err
 	}
@@ -531,10 +623,38 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 	s.st.LastRoundsRun = stats.RoundsRun
 	s.mu.Unlock()
 
+	if s.opts.JournalDepth > 0 {
+		// The coalescer's Flush returned a fresh canonical slice, so the
+		// journal can retain it without copying. Trim to the horizon.
+		s.jmu.Lock()
+		s.journal = append(s.journal, feedBatch{epoch: next.Epoch(), edits: batch})
+		if over := len(s.journal) - s.opts.JournalDepth; over > 0 {
+			s.journal = s.journal[over:]
+		}
+		s.journalEpoch = next.Epoch()
+		s.jmu.Unlock()
+		// Refresh the in-memory checkpoint every CheckpointEvery batches so
+		// its epoch never trails the journal head by more than
+		// CheckpointEvery — which JournalDepth is clamped to cover, keeping
+		// checkpoint bootstrap inside the feed horizon.
+		if s.sinceMemCkpt++; s.sinceMemCkpt >= s.opts.CheckpointEvery {
+			s.sinceMemCkpt = 0
+			if err := s.refreshMemCheckpoint(next.Epoch()); err != nil {
+				s.mu.Lock()
+				s.st.FlushErrors++
+				s.mu.Unlock()
+				return s.checkpointErr(err)
+			}
+		}
+	}
+
 	if s.opts.CheckpointPath != "" {
 		if *sinceCkpt++; *sinceCkpt >= s.opts.CheckpointEvery {
 			*sinceCkpt = 0
 			if err := s.writeCheckpoint(); err != nil {
+				s.mu.Lock()
+				s.st.FlushErrors++
+				s.mu.Unlock()
 				return err
 			}
 		}
@@ -542,10 +662,14 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 	return nil
 }
 
-// writeCheckpoint saves the detector to CheckpointPath atomically: the
-// state is written to a temporary file in the same directory (so the
-// rename never crosses filesystems) and renamed over the target — a crash
-// mid-write never corrupts the previous checkpoint.
+// writeCheckpoint saves the detector to CheckpointPath atomically AND
+// durably: the state is written to a temporary file in the same directory
+// (so the rename never crosses filesystems), fsynced, renamed over the
+// target, and the directory is fsynced so the rename itself survives a
+// crash. Without the first fsync a power loss after the rename can publish
+// a truncated checkpoint — the rename only orders against the data if the
+// data reached the disk first; without the second the old directory entry
+// may come back, which is merely stale, never corrupt.
 func (s *Service) writeCheckpoint() error {
 	dir, base := filepath.Split(s.opts.CheckpointPath)
 	if dir == "" {
@@ -560,6 +684,11 @@ func (s *Service) writeCheckpoint() error {
 		os.Remove(tmp.Name())
 		return s.checkpointErr(err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return s.checkpointErr(err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return s.checkpointErr(err)
@@ -568,11 +697,27 @@ func (s *Service) writeCheckpoint() error {
 		os.Remove(tmp.Name())
 		return s.checkpointErr(err)
 	}
+	if err := syncDir(dir); err != nil {
+		return s.checkpointErr(err)
+	}
 	s.mu.Lock()
 	s.st.Checkpoints++
 	s.ckptErr = nil // a good checkpoint supersedes an earlier transient failure
 	s.mu.Unlock()
 	return nil
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // checkpointErr records a checkpoint failure without latching the service:

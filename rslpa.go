@@ -202,6 +202,17 @@ func (d *Detector) applyCanonical(batch []Edit) (UpdateStats, error) {
 	return d.dst.Update(batch)
 }
 
+// Epoch returns the number of update batches applied so far. A detector
+// loaded from a checkpoint resumes its saved epoch, so epochs are
+// comparable across restarts (and across execution modes: both engines
+// count identically).
+func (d *Detector) Epoch() uint64 {
+	if d.seq != nil {
+		return d.seq.Epoch()
+	}
+	return d.dst.Epoch()
+}
+
 // Graph returns the detector's current graph. The graph is owned by the
 // detector: callers must not mutate it (apply changes through Update) and
 // must not read it concurrently with Update.

@@ -32,6 +32,13 @@ type ServiceOptions struct {
 	// CheckpointEvery is the number of batches between checkpoints.
 	// Default 16.
 	CheckpointEvery int
+	// JournalDepth, when positive, retains the last JournalDepth applied
+	// canonical batches plus an in-memory checkpoint and serves them over
+	// the HTTP handler as GET /feed and GET /checkpoint, so read-only
+	// follower replicas (internal/replica, `rslpa serve -follow`) can
+	// bootstrap and tail this writer. Clamped to at least CheckpointEvery;
+	// zero disables the feed.
+	JournalDepth int
 }
 
 // ServiceStats is a point-in-time reading of a Service's operational
@@ -79,6 +86,12 @@ func NewService(det *Detector, opts ServiceOptions) (*Service, error) {
 		},
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
+		JournalDepth:    opts.JournalDepth,
+		// Align service epochs with the detector's batch counter: a
+		// detector resumed from a checkpoint starts publishing at its
+		// restored epoch, so epochs are globally comparable across writer
+		// restarts and between a writer and its followers.
+		BaseEpoch: det.Epoch(),
 	})
 	if err != nil {
 		return nil, err

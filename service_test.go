@@ -1,15 +1,23 @@
 package rslpa_test
 
 import (
+	"encoding/json"
+	"fmt"
 	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"rslpa"
 	"rslpa/internal/dynamic"
+	"rslpa/internal/replica"
+	"rslpa/internal/stream"
 )
 
 // labelHash folds the full label matrix (and the edge count) of a state
@@ -560,4 +568,250 @@ func TestUpdateCanonicalizesBatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireSameLabels(t, 110, a.Labels, b.Labels)
+}
+
+// fetchFeed pages through a writer's replication feed starting after
+// epoch from, returning every journaled batch in epoch order.
+func fetchFeed(t *testing.T, base string, from uint64) []stream.FeedEntry {
+	t.Helper()
+	var out []stream.FeedEntry
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/feed?from=%d&max=1024", base, from))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /feed?from=%d: %d: %s", from, resp.StatusCode, body)
+		}
+		var fr stream.FeedResponse
+		if err := json.Unmarshal(body, &fr); err != nil {
+			t.Fatal(err)
+		}
+		if len(fr.Batches) == 0 {
+			return out
+		}
+		out = append(out, fr.Batches...)
+		from = fr.Batches[len(fr.Batches)-1].Epoch
+	}
+}
+
+// The read-tier correctness pin, end to end: 4 concurrent producers race
+// edits into a journaling writer while a follower tails it over HTTP —
+// and the writer crash-restarts from its checkpoint mid-run. Every
+// snapshot the follower ever publishes at epoch E must be bit-identical
+// to the writer's state at epoch E.
+//
+// With racing producers the writer's batch boundaries are
+// nondeterministic, so the per-epoch ground truth cannot come from a
+// pre-made serial batch list: it is built by replaying the writer's own
+// feed — the exact canonical batches it applied — through a fresh
+// detector, hashing after each epoch.
+func TestFollowerMatchesWriterEpochsAcrossRestart(t *testing.T) {
+	g := serviceGraph(t)
+	cfg := rslpa.Config{T: 30, Seed: 13}
+	maxID := uint32(g.MaxVertexID())
+	opts := rslpa.ServiceOptions{
+		MaxBatch: 64, FlushInterval: time.Hour,
+		CheckpointPath:  filepath.Join(t.TempDir(), "writer.ckpt"),
+		CheckpointEvery: 2,
+		JournalDepth:    4096,
+	}
+
+	det1, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, err := rslpa.NewService(det1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stable front door: the follower keeps one writer URL across the
+	// writer restart, exactly as it would behind a load balancer.
+	var handler atomic.Pointer[http.Handler]
+	setHandler := func(h http.Handler) { handler.Store(&h) }
+	setHandler(svc1.Handler())
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	}))
+	defer front.Close()
+
+	f, err := replica.New(replica.Options{
+		WriterURL: front.URL, PollInterval: 2 * time.Millisecond,
+		RetryMin: time.Millisecond, RetryMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Observer: hash every distinct epoch the follower publishes, the
+	// first time it appears.
+	type obs struct {
+		epoch uint64
+		hash  uint64
+	}
+	var seen []obs
+	stop := make(chan struct{})
+	var owg sync.WaitGroup
+	owg.Add(1)
+	go func() {
+		defer owg.Done()
+		last := uint64(1<<64 - 1)
+		for {
+			sn := f.Snapshot()
+			if e := sn.Epoch(); e != last {
+				last = e
+				seen = append(seen, obs{e, labelHash(maxID, sn.NumEdges(), sn.Labels)})
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	// produce races one phase's edits into a writer from 4 goroutines,
+	// one edit at a time, then drains. Batch composition is up to the
+	// scheduler; the journal records whatever the writer actually applied.
+	produce := func(svc *rslpa.Service, edits []rslpa.Edit) {
+		const producers = 4
+		per := (len(edits) + producers - 1) / producers
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			lo, hi := p*per, min((p+1)*per, len(edits))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(chunk []rslpa.Edit) {
+				defer wg.Done()
+				for _, e := range chunk {
+					if err := svc.Submit(e); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(edits[lo:hi])
+		}
+		wg.Wait()
+		if err := svc.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phaseEdits := func(seed uint64) []rslpa.Edit {
+		batches, err := dynamic.Stream(g.Clone(), 50, 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flat []rslpa.Edit
+		for _, b := range batches {
+			flat = append(flat, b...)
+		}
+		return flat
+	}
+
+	// Phase 1, then capture the feed before tearing the writer down.
+	produce(svc1, phaseEdits(71))
+	e1 := svc1.Stats().Epoch
+	feed1 := fetchFeed(t, front.URL, 0)
+	if len(feed1) == 0 || feed1[len(feed1)-1].Epoch != e1 {
+		t.Fatalf("feed ends at wrong epoch: %d entries, writer at %d", len(feed1), e1)
+	}
+
+	// Crash-restart: writer goes dark, then a new instance resumes from
+	// the checkpoint Close flushed. Its BaseEpoch continues at e1, so the
+	// follower sees a seamless epoch sequence.
+	setHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "writer down", http.StatusServiceUnavailable)
+	}))
+	if err := svc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := os.Open(opts.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det2, err := rslpa.LoadDetector(ckpt, rslpa.Config{})
+	ckpt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det2.Epoch() != e1 {
+		t.Fatalf("restarted writer at epoch %d, want %d", det2.Epoch(), e1)
+	}
+	svc2, err := rslpa.NewService(det2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	setHandler(svc2.Handler())
+
+	// Phase 2 on the restarted writer.
+	produce(svc2, phaseEdits(72))
+	e2 := svc2.Stats().Epoch
+	if e2 <= e1 {
+		t.Fatalf("restarted writer did not advance: %d after %d", e2, e1)
+	}
+	feed2 := fetchFeed(t, front.URL, e1)
+	if len(feed2) == 0 || feed2[len(feed2)-1].Epoch != e2 {
+		t.Fatalf("post-restart feed ends at wrong epoch: %d entries, writer at %d", len(feed2), e2)
+	}
+
+	// Let the follower converge, then stop observing.
+	deadline := time.Now().Add(30 * time.Second)
+	for f.Stats().FollowerEpoch < e2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck: %+v", f.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	owg.Wait()
+
+	// Ground truth: replay the writer's own canonical batches through a
+	// fresh twin, hashing at every epoch.
+	twin, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	wantHash := map[uint64]uint64{0: labelHash(maxID, twin.Graph().NumEdges(), twin.Labels)}
+	for _, entry := range append(feed1, feed2...) {
+		batch, err := entry.GraphEdits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := twin.Update(batch); err != nil {
+			t.Fatal(err)
+		}
+		wantHash[entry.Epoch] = labelHash(maxID, twin.Graph().NumEdges(), twin.Labels)
+	}
+
+	if len(seen) == 0 {
+		t.Fatal("observer saw nothing")
+	}
+	for _, o := range seen {
+		want, ok := wantHash[o.epoch]
+		if !ok {
+			t.Fatalf("follower published epoch %d, which the writer never journaled", o.epoch)
+		}
+		if o.hash != want {
+			t.Fatalf("follower snapshot at epoch %d does not hash-match the writer at that epoch", o.epoch)
+		}
+	}
+	sn := f.Snapshot()
+	if sn.Epoch() != e2 {
+		t.Fatalf("final follower epoch %d, want %d", sn.Epoch(), e2)
+	}
+	if got := labelHash(maxID, sn.NumEdges(), sn.Labels); got != wantHash[e2] {
+		t.Fatalf("final follower state diverged from writer at epoch %d", e2)
+	}
+	requireSameLabels(t, maxID, sn.Labels, func(v uint32) []uint32 { return svc2.Snapshot().Labels(v) })
 }
