@@ -28,6 +28,7 @@ import (
 
 	"rslpa"
 	"rslpa/internal/cover"
+	"rslpa/internal/obs"
 )
 
 func main() {
@@ -40,12 +41,33 @@ func main() {
 		case "serve":
 			runServe(args[1:])
 			return
+		case "version", "-version", "--version":
+			printVersion()
+			return
 		case "help", "-h", "-help", "--help":
-			fmt.Fprintln(os.Stderr, "usage: rslpa <detect|serve> [flags]  (run with -h after a subcommand for its flags)")
+			fmt.Fprintln(os.Stderr, "usage: rslpa <detect|serve|version> [flags]  (run with -h after a subcommand for its flags)")
 			os.Exit(2)
 		}
 	}
 	runDetect(args) // legacy: bare flags mean detect
+}
+
+// printVersion reports the binary's build identity (module version, VCS
+// revision when stamped, toolchain) — the same facts GET /version serves.
+func printVersion() {
+	bi := obs.Build()
+	fmt.Printf("rslpa %s (%s)", bi.Version, bi.GoVersion)
+	if bi.Revision != "" {
+		rev := bi.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Printf(" commit %s", rev)
+		if bi.Modified {
+			fmt.Print(" (dirty)")
+		}
+	}
+	fmt.Println()
 }
 
 func runDetect(args []string) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"rslpa"
+	"rslpa/internal/obs"
 	"rslpa/internal/replica"
 )
 
@@ -26,6 +28,13 @@ import (
 //	GET  /readyz       readiness: 503 once checkpointing is failing
 //	GET  /feed         replication feed for followers (with -journal > 0)
 //	GET  /checkpoint   bootstrap checkpoint for followers
+//	GET  /metrics      Prometheus text exposition
+//	GET  /debug/batches  recent + slowest per-batch pipeline traces
+//	GET  /version      build identity, start time, uptime
+//
+// With -debug-addr a second, private listener additionally serves the
+// net/http/pprof profile endpoints (plus /metrics, /debug/batches and
+// /version), kept off the public API listener.
 //
 // With -follow it instead runs a read-only follower of another rslpa
 // server: bootstrap from the writer's checkpoint, tail its feed, and
@@ -47,11 +56,18 @@ func runServe(args []string) {
 		journal   = fs.Int("journal", 1024, "batches retained for the follower feed (0 disables /feed and /checkpoint)")
 		follow    = fs.String("follow", "", "run as a read-only follower of this writer base URL")
 		poll      = fs.Duration("poll", 50*time.Millisecond, "follower: feed poll interval when caught up")
+		debugAddr = fs.String("debug-addr", "", "private listen address for pprof + /metrics (empty disables)")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
 	)
 	fs.Parse(args)
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *follow != "" {
-		runFollower(*follow, *addr, *poll)
+		runFollower(*follow, *addr, *poll, *debugAddr, logger)
 		return
 	}
 
@@ -66,6 +82,7 @@ func runServe(args []string) {
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
 		JournalDepth:    *journal,
+		Logger:          logger,
 	})
 	if err != nil {
 		det.Close()
@@ -76,7 +93,13 @@ func runServe(args []string) {
 	if resumed {
 		mode = "resumed from checkpoint"
 	}
-	fmt.Printf("serving on %s: %d vertices, %d edges (%s)\n", *addr, sn.NumVertices(), sn.NumEdges(), mode)
+	logger.Info("serve: listening",
+		"addr", *addr,
+		"vertices", sn.NumVertices(),
+		"edges", sn.NumEdges(),
+		"mode", mode,
+		"version", obs.Build().Version)
+	stopDebug := startDebugServer(*debugAddr, svc.DebugHandler(), logger)
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -90,28 +113,75 @@ func runServe(args []string) {
 		fatal(err)
 	case <-ctx.Done():
 	}
-	fmt.Println("shutting down: draining queue, applying final batch")
+	logger.Info("serve: shutting down, draining queue and applying final batch")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	srv.Shutdown(shutdownCtx)
+	stopDebug(shutdownCtx)
 	if err := svc.Close(); err != nil {
 		fatal(err)
 	}
 	st := svc.Stats()
-	fmt.Printf("served %d epochs, %d edits applied (%d coalesced away), %d checkpoints\n",
-		st.Epoch, st.AppliedEdits, st.CoalescedEdits, st.Checkpoints)
+	logger.Info("serve: stopped",
+		"epochs", st.Epoch,
+		"applied_edits", st.AppliedEdits,
+		"coalesced_edits", st.CoalescedEdits,
+		"checkpoints", st.Checkpoints)
+}
+
+// newLogger builds the process logger writing to stderr in the requested
+// format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// startDebugServer starts the private pprof+metrics listener when addr is
+// set, returning a shutdown func (a no-op when disabled).
+func startDebugServer(addr string, h http.Handler, logger *slog.Logger) func(context.Context) {
+	if addr == "" {
+		return func(context.Context) {}
+	}
+	srv := &http.Server{Addr: addr, Handler: h}
+	go func() {
+		logger.Info("serve: debug listener up (pprof, /metrics, /debug/batches)", "addr", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve: debug listener failed", "error", err)
+		}
+	}()
+	return func(ctx context.Context) { srv.Shutdown(ctx) }
 }
 
 // runFollower serves the read tier: bootstrap from the writer's
 // checkpoint, tail its feed, answer reads from local snapshots.
-func runFollower(writerURL, addr string, poll time.Duration) {
-	f, err := replica.New(replica.Options{WriterURL: writerURL, PollInterval: poll})
+func runFollower(writerURL, addr string, poll time.Duration, debugAddr string, logger *slog.Logger) {
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(0, 0)
+	f, err := replica.New(replica.Options{
+		WriterURL:    writerURL,
+		PollInterval: poll,
+		Obs:          reg,
+		Trace:        ring,
+		Logger:       logger,
+	})
 	if err != nil {
 		fatal(fmt.Errorf("follow %s: %w", writerURL, err))
 	}
 	sn := f.Snapshot()
-	fmt.Printf("following %s on %s: %d vertices, %d edges at epoch %d\n",
-		writerURL, addr, sn.NumVertices(), sn.NumEdges(), sn.Epoch())
+	logger.Info("serve: following",
+		"writer", writerURL,
+		"addr", addr,
+		"vertices", sn.NumVertices(),
+		"edges", sn.NumEdges(),
+		"epoch", sn.Epoch(),
+		"version", obs.Build().Version)
+	stopDebug := startDebugServer(debugAddr, obs.DebugMux(reg, ring), logger)
 
 	srv := &http.Server{Addr: addr, Handler: f.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -128,10 +198,15 @@ func runFollower(writerURL, addr string, poll time.Duration) {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	srv.Shutdown(shutdownCtx)
+	stopDebug(shutdownCtx)
 	f.Close()
 	st := f.Stats()
-	fmt.Printf("follower stopped at epoch %d (writer %d, lag %d): %d batches replayed, %d re-bootstraps\n",
-		st.FollowerEpoch, st.WriterEpoch, st.LagBatches, st.CatchupTotal, st.Rebootstraps)
+	logger.Info("serve: follower stopped",
+		"follower_epoch", st.FollowerEpoch,
+		"writer_epoch", st.WriterEpoch,
+		"lag_batches", st.LagBatches,
+		"batches_replayed", st.CatchupTotal,
+		"rebootstraps", st.Rebootstraps)
 }
 
 // openDetector resumes from the checkpoint when one exists, otherwise

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the debug server mounted behind `rslpa serve
+// -debug-addr`: the net/http/pprof endpoints (CPU, heap, mutex, block,
+// goroutine profiles — one `go tool pprof` away), plus /metrics and
+// /debug/batches when a registry or trace ring is supplied, and /version.
+// It is kept off the service's main listener so profiling traffic and
+// operator tooling never contend with (or get exposed alongside) the
+// public API.
+func DebugMux(reg *Registry, ring *TraceRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	if ring != nil {
+		mux.Handle("GET /debug/batches", ring.Handler())
+	}
+	mux.HandleFunc("GET /version", HandleVersion)
+	return mux
+}

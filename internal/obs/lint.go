@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed exposition family: its declared type and the
+// sample values keyed by the full sample name + label string.
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | histogram
+	Help    string
+	Samples map[string]float64
+}
+
+// ParseExposition parses Prometheus text-format output and lints it:
+// every sample must belong to a family that declared HELP and TYPE
+// first, names and the structure of histogram families must be valid,
+// and histogram bucket counts must be cumulative with the +Inf bucket
+// equal to _count. It returns the families by name. It is the shared
+// validator behind the /metrics exposition tests.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur *Family
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			rest := strings.TrimPrefix(text, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP %q", line, text)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %q", line, name)
+			}
+			cur = &Family{Name: name, Help: help, Samples: make(map[string]float64)}
+			fams[name] = cur
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE %q", line, text)
+			}
+			name, typ := fields[0], fields[1]
+			if cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("line %d: TYPE %q without preceding HELP", line, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("line %d: unknown TYPE %q for %q", line, typ, name)
+			}
+			cur.Type = typ
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // other comments are legal
+		}
+		// Sample line: name[{labels}] value
+		i := strings.IndexAny(text, "{ ")
+		if i < 0 {
+			return nil, fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		sname := text[:i]
+		if !validName(sname) {
+			return nil, fmt.Errorf("line %d: invalid sample name %q", line, sname)
+		}
+		key := sname
+		rest := text[i:]
+		if rest[0] == '{' {
+			end := strings.Index(rest, "} ")
+			if end < 0 {
+				return nil, fmt.Errorf("line %d: unterminated labels in %q", line, text)
+			}
+			key = sname + rest[:end+1]
+			rest = rest[end+1:]
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value in %q: %v", line, text, err)
+		}
+		fam := familyOf(fams, sname)
+		if fam == nil || fam.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %q without HELP/TYPE", line, sname)
+		}
+		if fam.Type == "counter" && val < 0 {
+			return nil, fmt.Errorf("line %d: counter %q is negative", line, key)
+		}
+		if _, dup := fam.Samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", line, key)
+		}
+		fam.Samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, fam := range fams {
+		if fam.Type == "" {
+			return nil, fmt.Errorf("family %q has HELP but no TYPE", name)
+		}
+		if len(fam.Samples) == 0 {
+			return nil, fmt.Errorf("family %q has no samples", name)
+		}
+		if fam.Type == "histogram" {
+			if err := lintHistogram(name, fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its family, stripping the histogram
+// suffixes _bucket/_sum/_count when the base name is a histogram.
+func familyOf(fams map[string]*Family, sname string) *Family {
+	if f, ok := fams[sname]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sname, suffix)
+		if !ok {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.Type == "histogram" {
+			return f
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks bucket counts are cumulative in le order and that
+// the +Inf bucket equals _count.
+func lintHistogram(name string, fam *Family) error {
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	var buckets []bucket
+	var count float64
+	haveCount := false
+	for key, val := range fam.Samples {
+		switch {
+		case key == name+"_count":
+			count, haveCount = val, true
+		case strings.HasPrefix(key, name+`_bucket{le="`):
+			leStr := strings.TrimSuffix(strings.TrimPrefix(key, name+`_bucket{le="`), `"}`)
+			var le float64
+			if leStr == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				var err error
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("histogram %q: bad le %q", name, leStr)
+				}
+			}
+			buckets = append(buckets, bucket{le, val})
+		}
+	}
+	if !haveCount {
+		return fmt.Errorf("histogram %q: missing _count", name)
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("histogram %q: no buckets", name)
+	}
+	for i := 0; i < len(buckets); i++ {
+		for j := i + 1; j < len(buckets); j++ {
+			if buckets[j].le < buckets[i].le {
+				buckets[i], buckets[j] = buckets[j], buckets[i]
+			}
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		return fmt.Errorf("histogram %q: missing +Inf bucket", name)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].count < buckets[i-1].count {
+			return fmt.Errorf("histogram %q: bucket counts not cumulative at le=%g", name, buckets[i].le)
+		}
+	}
+	if last.count != count {
+		return fmt.Errorf("histogram %q: +Inf bucket %g != count %g", name, last.count, count)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a batch's journey through the pipeline. The
+// batch itself is the root of the span tree; Spans nest further through
+// Children. Attrs carries stage-specific integers (correction rounds run,
+// shards republished, engine wire bytes, ...).
+type Span struct {
+	Name     string           `json:"name"`
+	Micros   int64            `json:"micros"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
+	Children []Span           `json:"children,omitempty"`
+}
+
+// BatchTrace is the span tree of one flushed batch: coalesce, detector
+// Update, snapshot publish, journal append, checkpoint write. TotalMicros
+// is the wall time from the flush's start (plus the coalescing time the
+// batch accumulated while pending), so the spans sum to it up to the
+// untimed residue (stats bookkeeping, lock handoff).
+type BatchTrace struct {
+	Epoch       uint64    `json:"epoch"`
+	Start       time.Time `json:"start"`
+	Edits       int       `json:"edits"`
+	TotalMicros int64     `json:"total_micros"`
+	Spans       []Span    `json:"spans"`
+}
+
+// TraceRing retains the last depth batch traces in a ring plus the
+// slowest slowN (by TotalMicros) seen since start, separately — a latency
+// spike older than depth batches stays inspectable. Record is called by
+// the service's maintenance goroutine; Recent/Slowest/Handler may be
+// called concurrently from scrapers. All methods are nil-safe.
+type TraceRing struct {
+	mu    sync.Mutex
+	ring  []BatchTrace
+	n     uint64 // traces ever recorded
+	slow  []BatchTrace
+	slowN int
+}
+
+// Default ring geometry: how many recent traces are kept, and how many
+// slowest-ever are pinned beside them.
+const (
+	DefaultTraceDepth   = 64
+	DefaultTraceSlowest = 8
+)
+
+// NewTraceRing returns a ring retaining the last depth traces and the
+// slowest slowest (non-positive values select the defaults).
+func NewTraceRing(depth, slowest int) *TraceRing {
+	if depth <= 0 {
+		depth = DefaultTraceDepth
+	}
+	if slowest <= 0 {
+		slowest = DefaultTraceSlowest
+	}
+	return &TraceRing{ring: make([]BatchTrace, depth), slowN: slowest}
+}
+
+// Record stores one batch trace.
+func (t *TraceRing) Record(bt BatchTrace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.n%uint64(len(t.ring))] = bt
+	t.n++
+	// Keep t.slow sorted descending by TotalMicros, bounded at slowN.
+	i := len(t.slow)
+	for i > 0 && t.slow[i-1].TotalMicros < bt.TotalMicros {
+		i--
+	}
+	if i < t.slowN {
+		t.slow = append(t.slow, BatchTrace{})
+		copy(t.slow[i+1:], t.slow[i:])
+		t.slow[i] = bt
+		if len(t.slow) > t.slowN {
+			t.slow = t.slow[:t.slowN]
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Recorded returns how many traces have ever been recorded.
+func (t *TraceRing) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Recent returns the retained traces, newest first.
+func (t *TraceRing) Recent() []BatchTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := min(t.n, uint64(len(t.ring)))
+	out := make([]BatchTrace, 0, k)
+	for i := uint64(1); i <= k; i++ {
+		out = append(out, t.ring[(t.n-i)%uint64(len(t.ring))])
+	}
+	return out
+}
+
+// Slowest returns the slowest retained traces, slowest first.
+func (t *TraceRing) Slowest() []BatchTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]BatchTrace(nil), t.slow...)
+}
+
+// Handler serves the ring as GET /debug/batches:
+//
+//	{"recorded": N, "recent": [newest..], "slowest": [slowest..]}
+func (t *TraceRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"recorded": t.Recorded(),
+			"recent":   t.Recent(),
+			"slowest":  t.Slowest(),
+		})
+	})
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func trace(epoch uint64, micros int64) BatchTrace {
+	return BatchTrace{Epoch: epoch, TotalMicros: micros,
+		Spans: []Span{{Name: "update", Micros: micros}}}
+}
+
+// The ring is bounded: recording more than depth traces keeps only the
+// newest depth, returned newest first.
+func TestTraceRingBounded(t *testing.T) {
+	ring := NewTraceRing(16, 4)
+	for i := 1; i <= 100; i++ {
+		ring.Record(trace(uint64(i), int64(i)))
+	}
+	if got := ring.Recorded(); got != 100 {
+		t.Fatalf("Recorded = %d, want 100", got)
+	}
+	recent := ring.Recent()
+	if len(recent) != 16 {
+		t.Fatalf("len(Recent) = %d, want 16", len(recent))
+	}
+	for i, bt := range recent {
+		if want := uint64(100 - i); bt.Epoch != want {
+			t.Fatalf("Recent[%d].Epoch = %d, want %d (newest first)", i, bt.Epoch, want)
+		}
+	}
+}
+
+// The slowest list survives the ring's horizon: a spike recorded long ago
+// stays pinned, ordered slowest first.
+func TestTraceRingSlowest(t *testing.T) {
+	ring := NewTraceRing(4, 3)
+	ring.Record(trace(1, 9_000_000)) // the spike, far older than depth=4
+	for i := 2; i <= 50; i++ {
+		ring.Record(trace(uint64(i), int64(i)))
+	}
+	slow := ring.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("len(Slowest) = %d, want 3", len(slow))
+	}
+	if slow[0].Epoch != 1 || slow[0].TotalMicros != 9_000_000 {
+		t.Fatalf("Slowest[0] = epoch %d (%dµs), want the old spike", slow[0].Epoch, slow[0].TotalMicros)
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].TotalMicros > slow[i-1].TotalMicros {
+			t.Fatalf("Slowest not descending at %d: %d > %d", i, slow[i].TotalMicros, slow[i-1].TotalMicros)
+		}
+	}
+}
+
+func TestTraceRingDefaults(t *testing.T) {
+	ring := NewTraceRing(0, 0)
+	for i := 1; i <= DefaultTraceDepth+10; i++ {
+		ring.Record(trace(uint64(i), int64(i)))
+	}
+	if got := len(ring.Recent()); got != DefaultTraceDepth {
+		t.Fatalf("default depth = %d, want %d", got, DefaultTraceDepth)
+	}
+	if got := len(ring.Slowest()); got != DefaultTraceSlowest {
+		t.Fatalf("default slowest = %d, want %d", got, DefaultTraceSlowest)
+	}
+}
+
+// One writer records while scrapers read — the pattern the maintenance
+// goroutine and /debug/batches produce. Run under -race.
+func TestTraceRingConcurrentScrape(t *testing.T) {
+	ring := NewTraceRing(32, 4)
+	srv := httptest.NewServer(ring.Handler())
+	defer srv.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 500; i++ {
+			ring.Record(trace(uint64(i), int64(i%97)))
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := srv.Client().Get(srv.URL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var body struct {
+					Recorded uint64       `json:"recorded"`
+					Recent   []BatchTrace `json:"recent"`
+					Slowest  []BatchTrace `json:"slowest"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+					t.Error(err)
+				}
+				resp.Body.Close()
+				if len(body.Recent) > 32 || len(body.Slowest) > 4 {
+					t.Errorf("bounds exceeded: %d recent, %d slowest", len(body.Recent), len(body.Slowest))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ring.Recorded(); got != 500 {
+		t.Fatalf("Recorded = %d, want 500", got)
+	}
+}
+
+func TestVersionHandler(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(nil, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Version       string  `json:"version"`
+		GoVersion     string  `json:"go_version"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Version == "" || body.GoVersion == "" {
+		t.Fatalf("missing build identity: %+v", body)
+	}
+	if body.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime %g", body.UptimeSeconds)
+	}
+}
+
+// The debug mux mounts pprof, the registry and the trace ring.
+func TestDebugMuxRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dbg_ops_total", "ops").Inc()
+	ring := NewTraceRing(4, 2)
+	ring.Record(trace(1, 10))
+	srv := httptest.NewServer(DebugMux(reg, ring))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/batches", "/version", "/debug/pprof/"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

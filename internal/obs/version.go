@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// BuildInfo identifies the running binary: module version, VCS revision,
+// and toolchain, read once from debug.ReadBuildInfo.
+type BuildInfo struct {
+	Version   string `json:"version"`              // module version ("(devel)" for local builds)
+	GoVersion string `json:"go_version"`           // toolchain that built the binary
+	Revision  string `json:"revision,omitempty"`   // VCS commit hash, when stamped
+	BuildTime string `json:"build_time,omitempty"` // VCS commit time, when stamped
+	Modified  bool   `json:"modified,omitempty"`   // VCS working tree was dirty
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build information.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "(unknown)", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.BuildTime = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// versionResponse is the GET /version body: build identity plus process
+// start time and uptime.
+type versionResponse struct {
+	BuildInfo
+	StartTime     time.Time `json:"start_time"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+// processStart approximates process start: the first time this package is
+// initialized (good enough for uptime reporting).
+var processStart = time.Now()
+
+// HandleVersion serves GET /version.
+func HandleVersion(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(versionResponse{
+		BuildInfo:     Build(),
+		StartTime:     processStart,
+		UptimeSeconds: time.Since(processStart).Seconds(),
+	})
+}

@@ -15,6 +15,12 @@ import (
 //	                   writer_epoch, lag_batches, catchup_total,
 //	                   rebootstraps and replication_error
 //	GET /healthz       200 while the tail loop runs, 503 after Close
+//	GET /metrics       Prometheus text exposition (Options.Obs set):
+//	                   the follower's rslpa_replica_* families plus the
+//	                   inner read service's rslpa_stream_* families
+//	GET /debug/batches per-replayed-batch pipeline traces
+//	                   (Options.Trace set)
+//	GET /version       build identity, start time and uptime
 //
 // /communities and /vertex/{v} delegate to the inner read service's own
 // handler, so responses are byte-compatible with the writer's — a load
@@ -27,6 +33,12 @@ func (f *Follower) Handler() http.Handler {
 	mux.HandleFunc("GET /vertex/{v}", f.delegate)
 	mux.HandleFunc("GET /stats", f.handleStats)
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	// The registry and trace ring are shared with the inner service, and
+	// its handler already mounts them (plus /version) — delegate, so the
+	// observability surface is route-compatible with the writer's.
+	mux.HandleFunc("GET /metrics", f.delegate)
+	mux.HandleFunc("GET /debug/batches", f.delegate)
+	mux.HandleFunc("GET /version", f.delegate)
 	return mux
 }
 

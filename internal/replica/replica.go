@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -37,6 +38,7 @@ import (
 
 	"rslpa/internal/core"
 	"rslpa/internal/graph"
+	"rslpa/internal/obs"
 	"rslpa/internal/postprocess"
 	"rslpa/internal/stream"
 )
@@ -63,6 +65,20 @@ type Options struct {
 	// Client is the HTTP client used against the writer. Defaults to a
 	// client with a 30s timeout.
 	Client *http.Client
+	// Obs, when non-nil, registers the follower's metric families (poll
+	// latency, catch-up batches, re-bootstraps by reason, lag gauges) plus
+	// the inner read service's rslpa_stream_* families in the registry,
+	// served at GET /metrics. Registration survives re-bootstraps: each
+	// replay generation re-registers get-or-create, keeping owned
+	// histograms cumulative.
+	Obs *obs.Registry
+	// Trace, when non-nil, records the inner service's per-batch pipeline
+	// traces (one per replayed feed batch), served at GET /debug/batches.
+	Trace *obs.TraceRing
+	// Logger, when non-nil, receives structured operational events
+	// (bootstrap, re-bootstrap, replication error transitions). Nil
+	// discards.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -131,6 +147,9 @@ type Follower struct {
 
 	closeOnce sync.Once
 
+	met *replicaMetrics
+	log *slog.Logger
+
 	writerEpoch  atomic.Uint64
 	catchupTotal atomic.Uint64
 	rebootstraps atomic.Uint64
@@ -163,12 +182,23 @@ func New(opts Options) (*Follower, error) {
 		opts: opts.withDefaults(),
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
+		log:  opts.Logger,
+	}
+	if f.log == nil {
+		f.log = slog.New(slog.DiscardHandler)
 	}
 	rs, err := f.bootstrap()
 	if err != nil {
 		return nil, fmt.Errorf("replica: bootstrap: %w", err)
 	}
 	f.cur.Store(rs)
+	// Register the follower's own families only after the first generation
+	// is published: the gauge closures read f.cur at scrape time.
+	f.met = newReplicaMetrics(f.opts.Obs, f)
+	f.log.Info("replica: follower started",
+		"writer_url", f.opts.WriterURL,
+		"epoch", rs.svc.Snapshot().Epoch(),
+		"poll_interval", f.opts.PollInterval)
 	go f.loop()
 	return f, nil
 }
@@ -212,6 +242,9 @@ func (f *Follower) bootstrap() (*replayState, error) {
 		FlushInterval: 24 * time.Hour,
 		Extraction:    f.opts.Extraction,
 		BaseEpoch:     st.Epoch(),
+		Obs:           f.opts.Obs,
+		Trace:         f.opts.Trace,
+		Logger:        f.opts.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -265,6 +298,10 @@ func (f *Follower) loop() {
 // poll performs one feed round-trip and replays whatever it returned.
 // behind reports that a full page arrived (more batches likely pending).
 func (f *Follower) poll() (behind bool, err error) {
+	if f.met != nil {
+		t0 := time.Now()
+		defer func() { f.met.pollSeconds.Observe(time.Since(t0).Seconds()) }()
+	}
 	rs := f.cur.Load()
 	from := rs.svc.Snapshot().Epoch()
 	url := fmt.Sprintf("%s/feed?from=%d&max=%d", f.opts.WriterURL, from, f.opts.FeedMax)
@@ -282,7 +319,7 @@ func (f *Follower) poll() (behind bool, err error) {
 	case http.StatusGone:
 		// Behind the journal horizon: the writer has forgotten the batches
 		// we need. Start over from its latest checkpoint.
-		return true, f.rebootstrap("behind journal horizon")
+		return true, f.rebootstrap(reasonHorizon, "behind journal horizon")
 	default:
 		return false, fmt.Errorf("GET /feed: %s: %s", resp.Status, bodyText(body))
 	}
@@ -295,7 +332,11 @@ func (f *Follower) poll() (behind bool, err error) {
 		// The writer restarted from a checkpoint older than our replay
 		// position: the epochs we already applied will be reassigned to
 		// different batches. Rewind to the writer's truth.
-		return true, f.rebootstrap(fmt.Sprintf("writer epoch regressed to %d (follower at %d)", feed.WriterEpoch, from))
+		return true, f.rebootstrap(reasonEpochRegression,
+			fmt.Sprintf("writer epoch regressed to %d (follower at %d)", feed.WriterEpoch, from))
+	}
+	if f.met != nil {
+		f.met.catchupBatches.Observe(float64(len(feed.Batches)))
 	}
 	for _, entry := range feed.Batches {
 		batch, err := entry.GraphEdits()
@@ -312,7 +353,8 @@ func (f *Follower) poll() (behind bool, err error) {
 		if got != entry.Epoch {
 			// Replay divergence (a batch coalesced to nothing, or skipped
 			// an epoch): the replica can no longer trust its state.
-			return true, f.rebootstrap(fmt.Sprintf("replayed feed batch %d landed at epoch %d", entry.Epoch, got))
+			return true, f.rebootstrap(reasonDivergence,
+				fmt.Sprintf("replayed feed batch %d landed at epoch %d", entry.Epoch, got))
 		}
 		f.catchupTotal.Add(1)
 	}
@@ -320,27 +362,47 @@ func (f *Follower) poll() (behind bool, err error) {
 }
 
 // rebootstrap replaces the replay generation with a fresh one built from
-// the writer's latest checkpoint. The reason is recorded as the
-// replication error until the next healthy poll.
-func (f *Follower) rebootstrap(reason string) error {
+// the writer's latest checkpoint. key is the stable reason label for the
+// rebootstraps counter (reasonHorizon / reasonEpochRegression /
+// reasonDivergence); detail is recorded as the replication error until
+// the next healthy poll.
+func (f *Follower) rebootstrap(key, detail string) error {
+	f.log.Warn("replica: re-bootstrapping from writer checkpoint",
+		"reason", key, "detail", detail)
 	rs, err := f.bootstrap()
 	if err != nil {
-		return fmt.Errorf("re-bootstrap (%s): %w", reason, err)
+		return fmt.Errorf("re-bootstrap (%s): %w", detail, err)
 	}
 	// Count before publishing the new generation: an observer that sees
 	// the post-bootstrap epoch must also see the counter tick.
 	f.rebootstraps.Add(1)
+	if f.met != nil {
+		f.met.rebootstraps.With(key).Inc()
+	}
 	old := f.cur.Swap(rs)
 	if old != nil {
 		old.svc.Close()
 	}
-	return fmt.Errorf("re-bootstrapped from checkpoint at epoch %d (%s)", rs.svc.Snapshot().Epoch(), reason)
+	f.log.Info("replica: re-bootstrapped",
+		"reason", key, "epoch", rs.svc.Snapshot().Epoch())
+	return fmt.Errorf("re-bootstrapped from checkpoint at epoch %d (%s)", rs.svc.Snapshot().Epoch(), detail)
 }
 
+// setErr records the tail loop's health and logs the transitions: one
+// Warn when replication starts failing, one Info when it recovers — not
+// one line per failed poll.
 func (f *Follower) setErr(err error) {
 	f.mu.Lock()
+	prev := f.lastErr
 	f.lastErr = err
 	f.mu.Unlock()
+	switch {
+	case err != nil && prev == nil:
+		f.log.Warn("replica: replication failing", "error", err)
+	case err == nil && prev != nil:
+		f.log.Info("replica: replication recovered",
+			"epoch", f.cur.Load().svc.Snapshot().Epoch())
+	}
 }
 
 func (f *Follower) replicationErr() error {

@@ -12,6 +12,7 @@ import (
 	"rslpa/internal/graph"
 	"rslpa/internal/lfr"
 	"rslpa/internal/metrics"
+	"rslpa/internal/obs"
 	"rslpa/internal/postprocess"
 )
 
@@ -130,6 +131,60 @@ func BenchmarkStreamServe(b *testing.B) {
 		}
 		b.ReportMetric(float64(stats.Batches), "batches")
 	}
+}
+
+// BenchmarkObsOverhead pins the cost of the observability layer on the
+// batch path: the same Submit+Drain workload through an instrumented
+// service (metrics registry + trace ring, the `rslpa serve` default) and
+// through a bare one. The two sub-benchmark rows land in BENCH_obs.json;
+// the instrumented ns/op must stay within a few percent of noop — the
+// hot path adds a handful of atomics and one trace Record per batch,
+// never per edit.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, opts Options) {
+		st := ringState(b, 10_000, 3)
+		svc, err := New(seqDet{st}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		// A small apply batch and its inverse: alternating keeps the graph
+		// (and therefore per-iteration work) in steady state.
+		apply := []graph.Edit{
+			{Op: graph.Insert, U: 10, V: 5010},
+			{Op: graph.Insert, U: 2500, V: 7510},
+		}
+		invert := []graph.Edit{
+			{Op: graph.Delete, U: 10, V: 5010},
+			{Op: graph.Delete, U: 2500, V: 7510},
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := range b.N {
+			batch := apply
+			if i%2 == 1 {
+				batch = invert
+			}
+			if err := svc.Submit(batch...); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(svc.Stats().Batches), "batches")
+	}
+	b.Run("instrumented", func(b *testing.B) {
+		run(b, Options{
+			MaxBatch: 256, FlushInterval: time.Hour,
+			Obs:   obs.NewRegistry(),
+			Trace: obs.NewTraceRing(0, 0),
+		})
+	})
+	b.Run("noop", func(b *testing.B) {
+		run(b, Options{MaxBatch: 256, FlushInterval: time.Hour})
+	})
 }
 
 // BenchmarkSnapshotPublish measures the copy-on-write publication path in

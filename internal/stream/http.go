@@ -8,8 +8,10 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"rslpa/internal/graph"
+	"rslpa/internal/obs"
 )
 
 // maxEditBody bounds a single POST /edits body (16 MiB ≈ one million
@@ -35,6 +37,10 @@ const maxEditBody = 16 << 20
 //	                   from a writer that is losing durability)
 //	GET  /feed         replication feed for followers (see feed.go)
 //	GET  /checkpoint   bootstrap checkpoint for followers (see feed.go)
+//	GET  /metrics      Prometheus text exposition (Options.Obs set)
+//	GET  /debug/batches  recent + slowest per-batch pipeline traces
+//	                   (Options.Trace set)
+//	GET  /version      build identity, start time and uptime
 //
 // Failure semantics of POST /edits: after a detector failure the service
 // latches — Submit still accepts edits (202 without ?wait), but batches
@@ -75,14 +81,34 @@ func wireEdit(e graph.Edit) editJSON {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /edits", s.handleEdits)
-	mux.HandleFunc("GET /communities", s.handleCommunities)
-	mux.HandleFunc("GET /vertex/{v}", s.handleVertex)
+	mux.HandleFunc("GET /communities", s.observed(s.handleCommunities))
+	mux.HandleFunc("GET /vertex/{v}", s.observed(s.handleVertex))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /feed", s.handleFeed)
 	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
+	if s.opts.Obs != nil {
+		mux.Handle("GET /metrics", s.opts.Obs.Handler())
+	}
+	if s.trace != nil {
+		mux.Handle("GET /debug/batches", s.trace.Handler())
+	}
+	mux.HandleFunc("GET /version", obs.HandleVersion)
 	return mux
+}
+
+// observed wraps a read endpoint with the query-latency histogram. With
+// instrumentation off it returns the handler untouched — zero overhead.
+func (s *Service) observed(h http.HandlerFunc) http.HandlerFunc {
+	if s.met == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		s.met.querySeconds.Observe(time.Since(t0).Seconds())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -64,6 +64,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,6 +74,7 @@ import (
 
 	"rslpa/internal/core"
 	"rslpa/internal/graph"
+	"rslpa/internal/obs"
 	"rslpa/internal/postprocess"
 )
 
@@ -93,6 +95,18 @@ type Detector interface {
 	Graph() *graph.Graph
 	// Save checkpoints the detector state.
 	Save(w io.Writer) error
+}
+
+// EngineStatsProvider is optionally implemented by detectors that run on
+// the BSP cluster engine: EngineStats reports the engine's cumulative
+// wire traffic (supersteps, messages, bytes — cluster.Stats). ok is false
+// for sequential detectors, whose wire traffic is definitionally zero.
+// When the service's detector implements it, the cumulative values are
+// surfaced in Stats (engine_rounds / engine_messages / engine_bytes in
+// /stats) and per-batch deltas are attached to the Update span of the
+// pipeline trace.
+type EngineStatsProvider interface {
+	EngineStats() (rounds, messages, bytes int64, ok bool)
 }
 
 // Options configures a Service. The zero value selects the defaults.
@@ -130,6 +144,18 @@ type Options struct {
 	// from the latest checkpoint always starts inside the journal horizon.
 	// Zero disables journaling (the feed endpoints answer 404).
 	JournalDepth int
+	// Obs, when non-nil, registers the service's metric families in the
+	// registry (latency histograms on the batch path, read-through
+	// counters over Stats) and serves it at GET /metrics. Nil disables
+	// instrumentation entirely — the uninstrumented hot path is unchanged.
+	Obs *obs.Registry
+	// Trace, when non-nil, records one pipeline trace per flushed batch —
+	// a span tree covering coalesce, Update, publish, journal and
+	// checkpoint — into the ring, served at GET /debug/batches.
+	Trace *obs.TraceRing
+	// Logger, when non-nil, receives structured operational events
+	// (startup, flush and checkpoint failures, shutdown). Nil discards.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -210,6 +236,19 @@ type Stats struct {
 	LastLevelsSkipped int    `json:"last_levels_skipped"`
 	LastRoundsRun     int    `json:"last_rounds_run"`
 
+	// Cumulative BSP engine wire traffic (cluster.Stats, including the
+	// initial propagation), present when the detector runs on the cluster
+	// engine (Workers > 1) and implements EngineStatsProvider; omitted as
+	// zero for sequential detectors.
+	EngineRounds   int64 `json:"engine_rounds,omitempty"`
+	EngineMessages int64 `json:"engine_messages,omitempty"`
+	EngineBytes    int64 `json:"engine_bytes,omitempty"`
+
+	// StartTime is when the service started; UptimeSeconds is how long
+	// ago that was as of this reading.
+	StartTime     time.Time `json:"start_time"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+
 	LastError string `json:"last_error,omitempty"`
 }
 
@@ -223,6 +262,23 @@ type Service struct {
 	ctl  chan chan error // Drain requests
 	quit chan struct{}   // closed by Close
 	done chan struct{}   // closed when the maintenance goroutine exits
+
+	// Observability: met is nil when Options.Obs is unset (the individual
+	// obs types are additionally nil-safe); trace is nil when tracing is
+	// off; log always points at a logger (a discarding one by default);
+	// engine is the detector's EngineStatsProvider view, nil when absent.
+	met    *streamMetrics
+	trace  *obs.TraceRing
+	log    *slog.Logger
+	start  time.Time
+	engine EngineStatsProvider
+
+	// Maintenance-goroutine-private batch bookkeeping: when the pending
+	// batch's first edit arrived, how much time coalescing it has cost,
+	// and the previous engine wire reading (for per-batch trace deltas).
+	pendSince    time.Time
+	pendCoalesce time.Duration
+	prevEng      [3]int64
 
 	closeOnce sync.Once
 	closeErr  error
@@ -278,13 +334,28 @@ func New(det Detector, opts Options) (*Service, error) {
 	}
 	opts = opts.withDefaults()
 	s := &Service{
-		det:  det,
-		opts: opts,
-		in:   make(chan graph.Edit, opts.QueueCapacity),
-		ctl:  make(chan chan error),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		det:   det,
+		opts:  opts,
+		in:    make(chan graph.Edit, opts.QueueCapacity),
+		ctl:   make(chan chan error),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		trace: opts.Trace,
+		log:   opts.Logger,
+		start: time.Now(),
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	if p, ok := det.(EngineStatsProvider); ok {
+		if r, m, by, on := p.EngineStats(); on {
+			s.engine = p
+			// Baseline for per-batch deltas; the cumulative totals in
+			// Stats still include the initial propagation.
+			s.prevEng = [3]int64{r, m, by}
+		}
+	}
+	s.met = newStreamMetrics(opts.Obs, s)
 	if opts.CheckpointPath != "" {
 		// A crash between CreateTemp and Rename in writeCheckpoint leaves
 		// a <base>.tmp* orphan behind; sweep them before we start writing
@@ -311,6 +382,22 @@ func New(det Detector, opts Options) (*Service, error) {
 			return nil, fmt.Errorf("stream: initial journal checkpoint: %w", err)
 		}
 	}
+	if s.engine != nil {
+		// Seed the cumulative engine counters so /stats shows the initial
+		// propagation's traffic before the first batch lands.
+		s.st.EngineRounds = s.prevEng[0]
+		s.st.EngineMessages = s.prevEng[1]
+		s.st.EngineBytes = s.prevEng[2]
+	}
+	s.log.Info("stream: service started",
+		"epoch", sn0.Epoch(),
+		"vertices", sn0.NumVertices(),
+		"edges", sn0.NumEdges(),
+		"queue_capacity", opts.QueueCapacity,
+		"max_batch", opts.MaxBatch,
+		"flush_interval", opts.FlushInterval,
+		"checkpoint_path", opts.CheckpointPath,
+		"journal_depth", opts.JournalDepth)
 	go s.loop()
 	return s, nil
 }
@@ -447,6 +534,8 @@ func (s *Service) Stats() Stats {
 	st.Queries = s.queries.Load()
 	st.QueueDepth = len(s.in)
 	st.QueueCapacity = s.opts.QueueCapacity
+	st.StartTime = s.start
+	st.UptimeSeconds = time.Since(s.start).Seconds()
 	if lastErr != nil {
 		st.LastError = lastErr.Error()
 	}
@@ -474,7 +563,11 @@ func (s *Service) Close() error {
 		if s.closeErr == nil {
 			s.closeErr = s.ckptErr
 		}
+		batches := s.st.Batches
+		epoch := s.st.Epoch
 		s.mu.Unlock()
+		s.log.Info("stream: service closed",
+			"epoch", epoch, "batches", batches, "error", s.closeErr)
 	})
 	return s.closeErr
 }
@@ -515,8 +608,25 @@ func (s *Service) loop() {
 
 // ingest folds one edit into the pending batch, metering how many
 // submitted edits canonicalization absorbs (a cancellation absorbs both
-// the pending edit and this one).
+// the pending edit and this one). When instrumented it also stamps the
+// pending batch's first-arrival time (for the queue-wait histogram) and
+// accumulates the coalescing cost (for the trace's coalesce span).
 func (s *Service) ingest(co *graph.Coalescer, e graph.Edit) {
+	if s.met != nil || s.trace != nil {
+		if s.pendSince.IsZero() {
+			s.pendSince = time.Now()
+		}
+		t0 := time.Now()
+		r := co.Add(e)
+		s.pendCoalesce += time.Since(t0)
+		switch r {
+		case 0:
+			s.coalesced.Add(1)
+		case -1:
+			s.coalesced.Add(2)
+		}
+		return
+	}
 	switch co.Add(e) {
 	case 0:
 		s.coalesced.Add(1)
@@ -564,10 +674,19 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 		return err
 	}
 	batch := co.Flush()
+	// The pending-batch stamps belong to the batch being flushed; reset
+	// them before the next one starts accumulating (also when the batch
+	// coalesced away to nothing).
+	pendWait, coalesceDur := time.Duration(0), s.pendCoalesce
+	if !s.pendSince.IsZero() {
+		pendWait = time.Since(s.pendSince)
+	}
+	s.pendSince, s.pendCoalesce = time.Time{}, 0
 	if len(batch) == 0 {
 		return nil
 	}
-	t0 := time.Now()
+	flushStart := time.Now()
+	t0 := flushStart
 	stats, err := s.det.Update(batch)
 	if err != nil {
 		s.mu.Lock()
@@ -576,9 +695,22 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 		err = s.lastErr
 		s.st.FlushErrors++
 		s.mu.Unlock()
+		s.log.Error("stream: detector update failed; service latched",
+			"error", err, "batch_edits", len(batch))
 		return err
 	}
 	dur := time.Since(t0)
+
+	// Per-batch engine wire delta (distributed detectors only), for the
+	// Update trace span; cumulative totals go to Stats below.
+	var engCum, engDelta [3]int64
+	if s.engine != nil {
+		if r, m, by, ok := s.engine.EngineStats(); ok {
+			engCum = [3]int64{r, m, by}
+			engDelta = [3]int64{r - s.prevEng[0], m - s.prevEng[1], by - s.prevEng[2]}
+			s.prevEng = engCum
+		}
+	}
 
 	// Publish copy-on-write: reclone only the shards the batch dirtied,
 	// share the rest with the previous snapshot. A detector that reports
@@ -621,9 +753,17 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 	s.st.RoundsRun += uint64(stats.RoundsRun)
 	s.st.LastLevelsSkipped = stats.LevelsSkipped
 	s.st.LastRoundsRun = stats.RoundsRun
+	if s.engine != nil {
+		s.st.EngineRounds = engCum[0]
+		s.st.EngineMessages = engCum[1]
+		s.st.EngineBytes = engCum[2]
+	}
 	s.mu.Unlock()
 
+	var journalDur time.Duration
+	var flushErr error
 	if s.opts.JournalDepth > 0 {
+		j0 := time.Now()
 		// The coalescer's Flush returned a fresh canonical slice, so the
 		// journal can retain it without copying. Trim to the horizon.
 		s.jmu.Lock()
@@ -643,23 +783,84 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 				s.mu.Lock()
 				s.st.FlushErrors++
 				s.mu.Unlock()
-				return s.checkpointErr(err)
+				flushErr = s.checkpointErr(err)
+			}
+		}
+		journalDur = time.Since(j0)
+	}
+
+	var ckptDur time.Duration
+	if flushErr == nil && s.opts.CheckpointPath != "" {
+		if *sinceCkpt++; *sinceCkpt >= s.opts.CheckpointEvery {
+			*sinceCkpt = 0
+			c0 := time.Now()
+			err := s.writeCheckpoint()
+			ckptDur = time.Since(c0)
+			if err != nil {
+				s.mu.Lock()
+				s.st.FlushErrors++
+				s.mu.Unlock()
+				flushErr = err
 			}
 		}
 	}
 
-	if s.opts.CheckpointPath != "" {
-		if *sinceCkpt++; *sinceCkpt >= s.opts.CheckpointEvery {
-			*sinceCkpt = 0
-			if err := s.writeCheckpoint(); err != nil {
-				s.mu.Lock()
-				s.st.FlushErrors++
-				s.mu.Unlock()
-				return err
-			}
+	if s.met != nil {
+		s.met.queueWaitSeconds.Observe(pendWait.Seconds())
+		s.met.updateSeconds.Observe(dur.Seconds())
+		s.met.publishSeconds.Observe(pub.Seconds())
+		s.met.batchEdits.Observe(float64(len(batch)))
+		if ckptDur > 0 {
+			s.met.checkpointSeconds.Observe(ckptDur.Seconds())
 		}
 	}
-	return nil
+	if s.trace != nil {
+		s.trace.Record(s.batchTrace(next, flushStart, len(batch), coalesceDur,
+			dur, pub, journalDur, ckptDur, stats, engDelta))
+	}
+	return flushErr
+}
+
+// batchTrace assembles the pipeline span tree of one flushed batch. The
+// root's TotalMicros covers the coalescing the batch accumulated while
+// pending plus the flush wall time; the spans are the individually timed
+// stages, so they sum to the total up to the untimed residue (stats
+// bookkeeping, snapshot pointer swap).
+func (s *Service) batchTrace(next *Snapshot, flushStart time.Time, edits int,
+	coalesce, update, publish, journal, ckpt time.Duration,
+	stats core.UpdateStats, engDelta [3]int64) obs.BatchTrace {
+	updAttrs := map[string]int64{
+		"rounds_run":     int64(stats.RoundsRun),
+		"levels_skipped": int64(stats.LevelsSkipped),
+		"touched":        int64(stats.Touched),
+		"dirty_vertices": int64(len(stats.Dirty)),
+	}
+	if s.engine != nil {
+		updAttrs["engine_rounds"] = engDelta[0]
+		updAttrs["engine_messages"] = engDelta[1]
+		updAttrs["engine_wire_bytes"] = engDelta[2]
+	}
+	spans := []obs.Span{
+		{Name: "coalesce", Micros: coalesce.Microseconds()},
+		{Name: "update", Micros: update.Microseconds(), Attrs: updAttrs},
+		{Name: "publish", Micros: publish.Microseconds(), Attrs: map[string]int64{
+			"shards_republished": int64(next.ShardsRepublished()),
+			"snapshot_shards":    int64(next.NumShards()),
+		}},
+	}
+	if journal > 0 {
+		spans = append(spans, obs.Span{Name: "journal", Micros: journal.Microseconds()})
+	}
+	if ckpt > 0 {
+		spans = append(spans, obs.Span{Name: "checkpoint", Micros: ckpt.Microseconds()})
+	}
+	return obs.BatchTrace{
+		Epoch:       next.Epoch(),
+		Start:       flushStart,
+		Edits:       edits,
+		TotalMicros: (coalesce + time.Since(flushStart)).Microseconds(),
+		Spans:       spans,
+	}
 }
 
 // writeCheckpoint saves the detector to CheckpointPath atomically AND
@@ -728,5 +929,6 @@ func (s *Service) checkpointErr(err error) error {
 	s.mu.Lock()
 	s.ckptErr = err
 	s.mu.Unlock()
+	s.log.Warn("stream: checkpoint failed (service still healthy)", "error", err)
 	return err
 }

@@ -213,6 +213,19 @@ func (d *Detector) Epoch() uint64 {
 	return d.dst.Epoch()
 }
 
+// EngineStats reports the BSP cluster engine's cumulative wire traffic
+// (supersteps, messages, bytes) for distributed detectors; ok is false
+// for sequential ones, whose wire traffic is definitionally zero. It
+// implements the streaming service's EngineStatsProvider, so a Service
+// over a Workers>1 detector surfaces these in /stats and /metrics.
+func (d *Detector) EngineStats() (rounds, messages, bytes int64, ok bool) {
+	if d.eng == nil {
+		return 0, 0, 0, false
+	}
+	st := d.eng.Stats()
+	return st.Rounds, st.Messages, st.Bytes, true
+}
+
 // Graph returns the detector's current graph. The graph is owned by the
 // detector: callers must not mutate it (apply changes through Update) and
 // must not read it concurrently with Update.

@@ -1,10 +1,12 @@
 package rslpa
 
 import (
+	"log/slog"
 	"net/http"
 	"time"
 
 	"rslpa/internal/graph"
+	"rslpa/internal/obs"
 	"rslpa/internal/postprocess"
 	"rslpa/internal/stream"
 )
@@ -39,6 +41,9 @@ type ServiceOptions struct {
 	// bootstrap and tail this writer. Clamped to at least CheckpointEvery;
 	// zero disables the feed.
 	JournalDepth int
+	// Logger, when non-nil, receives structured operational events
+	// (startup, flush and checkpoint failures, shutdown). Nil discards.
+	Logger *slog.Logger
 }
 
 // ServiceStats is a point-in-time reading of a Service's operational
@@ -60,6 +65,12 @@ type ServiceStats = stream.Stats
 type Service struct {
 	inner *stream.Service
 	det   *Detector
+
+	// Observability plumbing (internal/obs types stay internal; they are
+	// reachable through Handler's /metrics and /debug/batches routes and
+	// through DebugHandler).
+	reg  *obs.Registry
+	ring *obs.TraceRing
 }
 
 // canonDetector hands the service's batches straight to the underlying
@@ -74,7 +85,15 @@ func (d canonDetector) Update(batch []Edit) (UpdateStats, error) {
 // NewService starts a Service over det. The extraction configuration
 // (thresholds, metric) is taken from the detector's Config, so snapshot
 // queries return exactly what det.Communities would.
+//
+// Every service is born instrumented: a metrics registry (Prometheus
+// text exposition at GET /metrics) and a per-batch pipeline trace ring
+// (GET /debug/batches) are created internally and wired through the
+// maintenance loop. The hot-path cost is a handful of atomic adds per
+// batch — see BenchmarkObsOverhead in internal/stream.
 func NewService(det *Detector, opts ServiceOptions) (*Service, error) {
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(0, 0)
 	inner, err := stream.New(canonDetector{det}, stream.Options{
 		QueueCapacity: opts.QueueCapacity,
 		MaxBatch:      opts.MaxBatch,
@@ -87,6 +106,9 @@ func NewService(det *Detector, opts ServiceOptions) (*Service, error) {
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
 		JournalDepth:    opts.JournalDepth,
+		Obs:             reg,
+		Trace:           ring,
+		Logger:          opts.Logger,
 		// Align service epochs with the detector's batch counter: a
 		// detector resumed from a checkpoint starts publishing at its
 		// restored epoch, so epochs are globally comparable across writer
@@ -96,7 +118,7 @@ func NewService(det *Detector, opts ServiceOptions) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Service{inner: inner, det: det}, nil
+	return &Service{inner: inner, det: det, reg: reg, ring: ring}, nil
 }
 
 // Submit enqueues edge edits for application. It blocks while the ingest
@@ -124,8 +146,17 @@ func (s *Service) Drain() error { return s.inner.Drain() }
 func (s *Service) Stats() ServiceStats { return s.inner.Stats() }
 
 // Handler returns the HTTP+JSON front end: POST /edits, GET /communities,
-// GET /vertex/{v}, GET /stats, GET /healthz.
+// GET /vertex/{v}, GET /stats, GET /healthz, GET /metrics (Prometheus
+// text exposition), GET /debug/batches (per-batch pipeline traces) and
+// GET /version.
 func (s *Service) Handler() http.Handler { return s.inner.Handler() }
+
+// DebugHandler returns the debug server intended for a separate, private
+// listener (`rslpa serve -debug-addr`): the net/http/pprof profile
+// endpoints under /debug/pprof/, plus /metrics, /debug/batches and
+// /version — so profiling and scraping never contend with (or get
+// exposed alongside) the public API.
+func (s *Service) DebugHandler() http.Handler { return obs.DebugMux(s.reg, s.ring) }
 
 // Close drains the queue, applies the final batch, writes a final
 // checkpoint when configured, stops maintenance, and closes the detector.
