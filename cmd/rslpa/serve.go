@@ -28,6 +28,9 @@ import (
 //	GET  /readyz       readiness: 503 once checkpointing is failing
 //	GET  /feed         replication feed for followers (with -journal > 0)
 //	GET  /checkpoint   bootstrap checkpoint for followers
+//	GET  /events       community evolution events (with -evolution-depth > 0)
+//	GET  /community/{id}/history  one lineage's retained life-cycle
+//	GET  /evolution/state  serialized evolution baseline for followers
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/batches  recent + slowest per-batch pipeline traces
 //	GET  /version      build identity, start time, uptime
@@ -54,6 +57,7 @@ func runServe(args []string) {
 		ckpt      = fs.String("checkpoint", "", "checkpoint file; loaded at startup when present, rewritten while serving")
 		ckptEvery = fs.Int("checkpoint-every", 16, "batches between checkpoints")
 		journal   = fs.Int("journal", 1024, "batches retained for the follower feed (0 disables /feed and /checkpoint)")
+		evoDepth  = fs.Int("evolution-depth", 0, "epochs of community evolution events retained (0 disables /events and /community/{id}/history)")
 		follow    = fs.String("follow", "", "run as a read-only follower of this writer base URL")
 		poll      = fs.Duration("poll", 50*time.Millisecond, "follower: feed poll interval when caught up")
 		debugAddr = fs.String("debug-addr", "", "private listen address for pprof + /metrics (empty disables)")
@@ -67,7 +71,7 @@ func runServe(args []string) {
 	}
 
 	if *follow != "" {
-		runFollower(*follow, *addr, *poll, *debugAddr, logger)
+		runFollower(*follow, *addr, *poll, *evoDepth, *debugAddr, logger)
 		return
 	}
 
@@ -82,6 +86,7 @@ func runServe(args []string) {
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
 		JournalDepth:    *journal,
+		EvolutionDepth:  *evoDepth,
 		Logger:          logger,
 	})
 	if err != nil {
@@ -160,15 +165,16 @@ func startDebugServer(addr string, h http.Handler, logger *slog.Logger) func(con
 
 // runFollower serves the read tier: bootstrap from the writer's
 // checkpoint, tail its feed, answer reads from local snapshots.
-func runFollower(writerURL, addr string, poll time.Duration, debugAddr string, logger *slog.Logger) {
+func runFollower(writerURL, addr string, poll time.Duration, evoDepth int, debugAddr string, logger *slog.Logger) {
 	reg := obs.NewRegistry()
 	ring := obs.NewTraceRing(0, 0)
 	f, err := replica.New(replica.Options{
-		WriterURL:    writerURL,
-		PollInterval: poll,
-		Obs:          reg,
-		Trace:        ring,
-		Logger:       logger,
+		WriterURL:      writerURL,
+		PollInterval:   poll,
+		EvolutionDepth: evoDepth,
+		Obs:            reg,
+		Trace:          ring,
+		Logger:         logger,
 	})
 	if err != nil {
 		fatal(fmt.Errorf("follow %s: %w", writerURL, err))

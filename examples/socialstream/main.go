@@ -16,13 +16,21 @@
 // batch by batch, and — because batch replay is deterministic — converges
 // to the writer's exact state, bit for bit, at every epoch it publishes.
 //
+// Evolution tracking is on: after each published epoch the service diffs
+// the community set against the previous one and journals birth, death,
+// merge, split, grow, shrink and continue events under stable lineage
+// IDs, served at GET /events. The example tallies the event kinds at the
+// end — the visible life-cycle of the network's circles under churn.
+//
 // Run with: go run ./examples/socialstream
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -66,6 +74,7 @@ func main() {
 		CheckpointPath:  ckpt,
 		CheckpointEvery: 4,
 		JournalDepth:    64,
+		EvolutionDepth:  64,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -77,8 +86,9 @@ func main() {
 	writerSrv := httptest.NewServer(svc.Handler())
 	defer writerSrv.Close()
 	follower, err := replica.New(replica.Options{
-		WriterURL:    writerSrv.URL,
-		PollInterval: 5 * time.Millisecond,
+		WriterURL:      writerSrv.URL,
+		PollInterval:   5 * time.Millisecond,
+		EvolutionDepth: 64,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -174,6 +184,37 @@ func main() {
 	fmt.Printf("published @epoch %d: %d communities (%d strong, %d weak memberships), NMI vs truth %.3f\n",
 		epoch, res.Communities.Len(), res.Strong, res.Weak,
 		rslpa.NMI(res.Communities, truth, n))
+
+	// The evolution journal: how the circles changed, epoch over epoch,
+	// straight from the writer's GET /events.
+	resp, err := http.Get(writerSrv.URL + "/events?from=0&max=1024")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var evj struct {
+		Events []struct {
+			Epoch   uint64 `json:"epoch"`
+			Kind    string `json:"kind"`
+			Lineage uint64 `json:"lineage"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&evj); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	kinds := map[string]int{}
+	lineages := map[uint64]bool{}
+	for _, ev := range evj.Events {
+		kinds[ev.Kind]++
+		lineages[ev.Lineage] = true
+	}
+	fmt.Printf("evolution journal: %d events over %d lineages —", len(evj.Events), len(lineages))
+	for _, k := range []string{"birth", "death", "merge", "split", "grow", "shrink", "continue"} {
+		if kinds[k] > 0 {
+			fmt.Printf(" %d %s", kinds[k], k)
+		}
+	}
+	fmt.Println()
 
 	final := svc.Snapshot()
 

@@ -1,0 +1,558 @@
+// Package evolution tracks how a dynamic graph's overlapping communities
+// evolve across snapshot epochs.
+//
+// After every published snapshot the caller hands the Tracker the new
+// epoch's community list (as produced by cover extraction, whose order is
+// bit-identical across writer and follower). The Tracker diffs it against
+// the previous epoch via stable matching on member overlap — exact
+// rational Jaccard comparison with deterministic tie-breaks — classifies
+// every transition into one of seven kinds (birth, death, merge, split,
+// grow, shrink, continue), and threads a stable lineage ID through each
+// community's life. Lineage IDs are content-derived (a hash of the birth
+// epoch and the sorted member list), so two processes replaying the same
+// canonical batch stream assign identical IDs and emit identical event
+// streams without coordination.
+//
+// The Tracker keeps a bounded per-epoch event journal (for cursor-based
+// streaming with /feed-style horizon semantics) and a bounded per-lineage
+// history ring (for point lookups of one community's life-cycle). Its
+// matcher baseline — the epoch plus current communities with lineage
+// IDs — serializes to JSON so a restarted writer or a bootstrapping
+// follower resumes with the same lineage assignments.
+//
+// The Tracker is not safe for concurrent use; callers synchronize.
+package evolution
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+)
+
+// Kind classifies one epoch-to-epoch community transition.
+type Kind string
+
+// The seven transition kinds. Every lineage alive in the previous or the
+// new epoch receives exactly one event per epoch.
+const (
+	// Birth: a new community with no sufficiently-overlapping predecessor.
+	Birth Kind = "birth"
+	// Death: a previous community with no sufficiently-overlapping successor.
+	Death Kind = "death"
+	// Merge: on the surviving lineage, the event lists the absorbed
+	// lineages in Related; each absorbed lineage gets its own terminal
+	// merge event with Related = [survivor].
+	Merge Kind = "merge"
+	// Split: on each breakaway part (fresh lineage, Related = [parent]);
+	// the continuing parent's own event is also split, with Related
+	// listing the parts.
+	Split Kind = "split"
+	// Grow / Shrink / Continue: one-to-one match with larger, smaller, or
+	// equal membership.
+	Grow     Kind = "grow"
+	Shrink   Kind = "shrink"
+	Continue Kind = "continue"
+)
+
+// Kinds lists every event kind, in a fixed order, for metric
+// pre-registration and documentation.
+var Kinds = []Kind{Birth, Death, Merge, Split, Grow, Shrink, Continue}
+
+// Event is one classified transition of one lineage at one epoch.
+type Event struct {
+	Epoch    uint64 `json:"epoch"`
+	Kind     Kind   `json:"kind"`
+	Lineage  uint64 `json:"lineage"`
+	Size     int    `json:"size"`
+	PrevSize int    `json:"prev_size,omitempty"`
+	// Overlap is the Jaccard similarity to the matched counterpart
+	// (0 for births and deaths).
+	Overlap float64  `json:"overlap,omitempty"`
+	Related []uint64 `json:"related,omitempty"`
+}
+
+// Community is one tracked community: its lineage ID, the epoch the
+// lineage was born (or rebased) at, and its sorted member list.
+type Community struct {
+	Lineage uint64   `json:"lineage"`
+	Born    uint64   `json:"born"`
+	Members []uint32 `json:"members"`
+}
+
+// History is the retained life-cycle of one lineage.
+type History struct {
+	Lineage uint64  `json:"lineage"`
+	Born    uint64  `json:"born"`
+	Alive   bool    `json:"alive"`
+	Size    int     `json:"size"`
+	Events  []Event `json:"events"`
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMinJaccard   = 0.1
+	DefaultHistoryDepth = 256
+)
+
+// Config parameterizes a Tracker; the zero value selects defaults except
+// Depth, which callers must set.
+type Config struct {
+	// Depth bounds the event journal in epochs; older epochs fall behind
+	// the horizon (Events reports gone). Must be positive.
+	Depth int
+	// HistoryDepth bounds each lineage's retained event ring.
+	// Default 256.
+	HistoryDepth int
+	// MinJaccard is the minimum member-overlap Jaccard for two
+	// communities to be considered the same lineage. Default 0.1.
+	MinJaccard float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Depth < 1 {
+		c.Depth = 1
+	}
+	if c.HistoryDepth <= 0 {
+		c.HistoryDepth = DefaultHistoryDepth
+	}
+	if c.MinJaccard <= 0 {
+		c.MinJaccard = DefaultMinJaccard
+	}
+	return c
+}
+
+type epochEvents struct {
+	epoch  uint64
+	events []Event
+}
+
+type lineage struct {
+	born   uint64
+	alive  bool
+	size   int
+	last   uint64 // epoch of the most recent event (or birth/rebase)
+	events []Event
+}
+
+// Tracker diffs successive community sets and maintains the event journal
+// and lineage histories. Not safe for concurrent use.
+type Tracker struct {
+	cfg      Config
+	epoch    uint64 // epoch of cur
+	baseline uint64 // epoch the tracker last (re)based or restored at
+	cur      []Community
+	journal  []epochEvents // contiguous epochs, ascending
+	lineages map[uint64]*lineage
+
+	// scratch reused across Advance calls
+	memberIdx map[uint32][]int32
+	counts    map[int32]uint64
+}
+
+// New returns a Tracker with no baseline; call Rebase or Restore before
+// the first Advance.
+func New(cfg Config) *Tracker {
+	return &Tracker{
+		cfg:       cfg.withDefaults(),
+		lineages:  make(map[uint64]*lineage),
+		memberIdx: make(map[uint32][]int32),
+		counts:    make(map[int32]uint64),
+	}
+}
+
+// Epoch returns the epoch of the tracker's current baseline.
+func (t *Tracker) Epoch() uint64 { return t.epoch }
+
+// Communities returns the tracked communities of the current epoch. The
+// returned slice and its members must not be mutated.
+func (t *Tracker) Communities() []Community { return t.cur }
+
+// LiveLineages reports how many lineages are alive at the current epoch.
+func (t *Tracker) LiveLineages() int { return len(t.cur) }
+
+// Rebase resets the tracker to a fresh baseline: every community gets a
+// new lineage born at epoch, and the journal and histories are cleared.
+func (t *Tracker) Rebase(epoch uint64, comms [][]uint32) {
+	t.epoch, t.baseline = epoch, epoch
+	t.journal = t.journal[:0]
+	clear(t.lineages)
+	t.cur = make([]Community, len(comms))
+	taken := make(map[uint64]bool, len(comms))
+	for i, m := range comms {
+		members := append([]uint32(nil), m...)
+		id := freshLineageID(epoch, members, taken)
+		t.cur[i] = Community{Lineage: id, Born: epoch, Members: members}
+		t.lineages[id] = &lineage{born: epoch, alive: true, size: len(members), last: epoch}
+	}
+}
+
+// lineageID hashes (epoch, members) with fnv64a — content-derived so
+// independent replayers of the same stream agree without coordination.
+func lineageID(epoch uint64, members []uint32) uint64 {
+	h := fnv.New64a()
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], epoch)
+	h.Write(b8[:])
+	var b4 [4]byte
+	for _, v := range members {
+		binary.LittleEndian.PutUint32(b4[:], v)
+		h.Write(b4[:])
+	}
+	return h.Sum64()
+}
+
+// freshLineageID returns a lineage ID for a community born at epoch,
+// deterministically rehashing past collisions with IDs in taken (live
+// lineages plus IDs already assigned this epoch), and records the result
+// in taken. Both sides of a writer/follower pair see the same taken set,
+// so perturbation is replay-stable.
+func freshLineageID(epoch uint64, members []uint32, taken map[uint64]bool) uint64 {
+	id := lineageID(epoch, members)
+	for taken[id] {
+		h := fnv.New64a()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], id)
+		h.Write(b[:])
+		id = h.Sum64()
+	}
+	taken[id] = true
+	return id
+}
+
+// ratioGreater reports inter1/union1 > inter2/union2 exactly, comparing
+// cross products in 128 bits so no overlap ratio is ever misordered by
+// rounding.
+func ratioGreater(inter1, union1, inter2, union2 uint64) bool {
+	hi1, lo1 := bits.Mul64(inter1, union2)
+	hi2, lo2 := bits.Mul64(inter2, union1)
+	return hi1 > hi2 || (hi1 == hi2 && lo1 > lo2)
+}
+
+// Advance diffs the communities of epoch (which must be the current epoch
+// plus one) against the baseline, appends the classified events to the
+// journal and histories, and returns them. The returned slice must not be
+// mutated.
+func (t *Tracker) Advance(epoch uint64, comms [][]uint32) ([]Event, error) {
+	if epoch != t.epoch+1 {
+		return nil, fmt.Errorf("evolution: advance to epoch %d from %d (want %d)", epoch, t.epoch, t.epoch+1)
+	}
+	prev := t.cur
+
+	// Inverted index: member -> previous community indices (ascending,
+	// because we append in index order).
+	idx := t.memberIdx
+	clear(idx)
+	for i, c := range prev {
+		for _, v := range c.Members {
+			idx[v] = append(idx[v], int32(i))
+		}
+	}
+
+	// For each new community j, its best previous match (exact-Jaccard
+	// argmax; ties to the lower previous index) — and symmetrically for
+	// each previous community i, its best new match (ties to the lower
+	// new index). Candidates below MinJaccard never match.
+	bestPrev := make([]int32, len(comms))
+	bestPrevInter := make([]uint64, len(comms))
+	bestPrevUnion := make([]uint64, len(comms))
+	bestNew := make([]int32, len(prev))
+	bestNewInter := make([]uint64, len(prev))
+	bestNewUnion := make([]uint64, len(prev))
+	for j := range bestPrev {
+		bestPrev[j] = -1
+	}
+	for i := range bestNew {
+		bestNew[i] = -1
+	}
+	counts := t.counts
+	var cand []int32
+	for j, m := range comms {
+		clear(counts)
+		cand = cand[:0]
+		for _, v := range m {
+			for _, i := range idx[v] {
+				if counts[i] == 0 {
+					cand = append(cand, i)
+				}
+				counts[i]++
+			}
+		}
+		// Candidate order must be deterministic: map iteration is not.
+		sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+		for _, i := range cand {
+			inter := counts[i]
+			union := uint64(len(m)) + uint64(len(prev[i].Members)) - inter
+			if float64(inter) < t.cfg.MinJaccard*float64(union) {
+				continue
+			}
+			if bestPrev[j] < 0 || ratioGreater(inter, union, bestPrevInter[j], bestPrevUnion[j]) {
+				bestPrev[j], bestPrevInter[j], bestPrevUnion[j] = i, inter, union
+			}
+			if bestNew[i] < 0 || ratioGreater(inter, union, bestNewInter[i], bestNewUnion[i]) {
+				bestNew[i], bestNewInter[i], bestNewUnion[i] = int32(j), inter, union
+			}
+		}
+	}
+
+	// Mutual best pairs inherit the lineage. A previous community whose
+	// best new match went to someone else is absorbed (merge); a new
+	// community whose best previous match kept its lineage elsewhere is a
+	// breakaway part (split).
+	inherit := make([]int32, len(comms))
+	for j := range inherit {
+		inherit[j] = -1
+	}
+	for i := range prev {
+		if j := bestNew[i]; j >= 0 && bestPrev[j] == int32(i) {
+			inherit[j] = int32(i)
+		}
+	}
+	absorbed := make(map[int32][]int32) // new j -> absorbed prev indices (ascending)
+	parts := make(map[int32][]int32)    // prev i -> breakaway new indices (ascending)
+	for i := range prev {
+		if j := bestNew[i]; j >= 0 && inherit[j] != int32(i) {
+			absorbed[j] = append(absorbed[j], int32(i))
+		}
+	}
+	for j := range comms {
+		if i := bestPrev[j]; i >= 0 && inherit[j] != i {
+			parts[i] = append(parts[i], int32(j))
+		}
+	}
+
+	// Assign lineages: inherited first, then content-derived fresh IDs
+	// perturbed past any ID visible this epoch (previous or new) so a
+	// hash collision can never conflate two live histories.
+	next := make([]Community, len(comms))
+	taken := make(map[uint64]bool, len(prev)+len(comms))
+	for _, c := range prev {
+		taken[c.Lineage] = true
+	}
+	for j, m := range comms {
+		if i := inherit[j]; i >= 0 {
+			next[j] = Community{
+				Lineage: prev[i].Lineage,
+				Born:    prev[i].Born,
+				Members: append([]uint32(nil), m...),
+			}
+		}
+	}
+	for j, m := range comms {
+		if inherit[j] >= 0 {
+			continue
+		}
+		members := append([]uint32(nil), m...)
+		next[j] = Community{Lineage: freshLineageID(epoch, members, taken), Born: epoch, Members: members}
+	}
+
+	// Classify: one event per lineage, new communities in index order,
+	// then ended previous lineages in index order.
+	jac := func(inter, union uint64) float64 { return float64(inter) / float64(union) }
+	evs := make([]Event, 0, len(comms)+len(prev))
+	for j := range comms {
+		c := next[j]
+		switch {
+		case inherit[j] >= 0:
+			i := inherit[j]
+			ev := Event{
+				Epoch:    epoch,
+				Lineage:  c.Lineage,
+				Size:     len(c.Members),
+				PrevSize: len(prev[i].Members),
+				Overlap:  jac(bestPrevInter[j], bestPrevUnion[j]),
+			}
+			switch {
+			case len(absorbed[int32(j)]) > 0:
+				ev.Kind = Merge
+				for _, ai := range absorbed[int32(j)] {
+					ev.Related = append(ev.Related, prev[ai].Lineage)
+				}
+			case len(parts[i]) > 0:
+				ev.Kind = Split
+				for _, pj := range parts[i] {
+					ev.Related = append(ev.Related, next[pj].Lineage)
+				}
+			case ev.Size > ev.PrevSize:
+				ev.Kind = Grow
+			case ev.Size < ev.PrevSize:
+				ev.Kind = Shrink
+			default:
+				ev.Kind = Continue
+			}
+			evs = append(evs, ev)
+		case bestPrev[j] >= 0:
+			i := bestPrev[j]
+			evs = append(evs, Event{
+				Epoch:   epoch,
+				Kind:    Split,
+				Lineage: c.Lineage,
+				Size:    len(c.Members),
+				Overlap: jac(bestPrevInter[j], bestPrevUnion[j]),
+				Related: []uint64{prev[i].Lineage},
+			})
+		default:
+			evs = append(evs, Event{Epoch: epoch, Kind: Birth, Lineage: c.Lineage, Size: len(c.Members)})
+		}
+	}
+	for i := range prev {
+		j := bestNew[i]
+		if j >= 0 && inherit[j] == int32(i) {
+			continue // lineage survived
+		}
+		if j >= 0 {
+			evs = append(evs, Event{
+				Epoch:    epoch,
+				Kind:     Merge,
+				Lineage:  prev[i].Lineage,
+				PrevSize: len(prev[i].Members),
+				Overlap:  jac(bestNewInter[i], bestNewUnion[i]),
+				Related:  []uint64{next[j].Lineage},
+			})
+		} else {
+			evs = append(evs, Event{Epoch: epoch, Kind: Death, Lineage: prev[i].Lineage, PrevSize: len(prev[i].Members)})
+		}
+	}
+
+	t.cur, t.epoch = next, epoch
+	t.journal = append(t.journal, epochEvents{epoch: epoch, events: evs})
+	if over := len(t.journal) - t.cfg.Depth; over > 0 {
+		t.journal = t.journal[over:]
+	}
+
+	// Registry: record each event on its lineage, bound the rings, then
+	// evict dead lineages whose last event fell behind the horizon.
+	live := make(map[uint64]bool, len(next))
+	for _, c := range next {
+		live[c.Lineage] = true
+	}
+	for _, ev := range evs {
+		l := t.lineages[ev.Lineage]
+		if l == nil {
+			l = &lineage{born: epoch}
+			t.lineages[ev.Lineage] = l
+		}
+		l.alive = live[ev.Lineage]
+		l.size = ev.Size
+		l.last = epoch
+		l.events = append(l.events, ev)
+		if over := len(l.events) - t.cfg.HistoryDepth; over > 0 {
+			l.events = append(l.events[:0], l.events[over:]...)
+		}
+	}
+	horizon := t.journal[0].epoch
+	for id, l := range t.lineages {
+		if !l.alive && l.last < horizon {
+			delete(t.lineages, id)
+		}
+	}
+	return evs, nil
+}
+
+// FeedStatus reports whether an Events cursor is servable.
+type FeedStatus int
+
+const (
+	// FeedOK: events (possibly none) follow the cursor.
+	FeedOK FeedStatus = iota
+	// FeedGone: the cursor fell behind the retained horizon; the caller
+	// must restart from a fresh baseline.
+	FeedGone
+)
+
+// Window reports the journal's retained range: the oldest epoch a cursor
+// may start from without FeedGone, and the newest epoch diffed.
+func (t *Tracker) Window() (oldest, newest uint64) {
+	if len(t.journal) == 0 {
+		return t.baseline, t.epoch
+	}
+	return t.journal[0].epoch - 1, t.epoch
+}
+
+// Events returns the retained events of epochs (from, from+maxEpochs],
+// clamped to the diffed range. A cursor older than the retained horizon
+// reports FeedGone.
+func (t *Tracker) Events(from uint64, maxEpochs int) ([]Event, FeedStatus) {
+	oldest, newest := t.Window()
+	if from < oldest {
+		return nil, FeedGone
+	}
+	if maxEpochs < 1 {
+		maxEpochs = 1
+	}
+	evs := []Event{}
+	for _, ee := range t.journal {
+		if ee.epoch <= from {
+			continue
+		}
+		if ee.epoch > from+uint64(maxEpochs) || ee.epoch > newest {
+			break
+		}
+		evs = append(evs, ee.events...)
+	}
+	return evs, FeedOK
+}
+
+// History returns a copy of the retained life-cycle of lineage id, or
+// false if the lineage is unknown (never seen, or evicted behind the
+// horizon after death).
+func (t *Tracker) History(id uint64) (History, bool) {
+	l := t.lineages[id]
+	if l == nil {
+		return History{}, false
+	}
+	return History{
+		Lineage: id,
+		Born:    l.born,
+		Alive:   l.alive,
+		Size:    l.size,
+		Events:  append([]Event(nil), l.events...),
+	}, true
+}
+
+// trackerState is the serialized matcher baseline: enough to resume
+// lineage assignment exactly, not the journal or histories (those refill
+// from subsequent epochs; the event horizon restarts at Epoch).
+type trackerState struct {
+	Version     int         `json:"v"`
+	Epoch       uint64      `json:"epoch"`
+	Communities []Community `json:"communities"`
+}
+
+// Save serializes the matcher baseline (epoch plus current communities
+// with lineage IDs) as JSON. Two trackers with equal baselines produce
+// byte-identical output.
+func (t *Tracker) Save() ([]byte, error) {
+	return json.Marshal(trackerState{Version: 1, Epoch: t.epoch, Communities: t.cur})
+}
+
+// Restore resets the tracker from a Save image: the baseline epoch and
+// communities are adopted verbatim (lineage IDs and birth epochs
+// included), the journal restarts empty at that epoch, and histories are
+// seeded with the live lineages.
+func (t *Tracker) Restore(data []byte) error {
+	var st trackerState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("evolution: restore: %w", err)
+	}
+	if st.Version != 1 {
+		return fmt.Errorf("evolution: restore: unsupported state version %d", st.Version)
+	}
+	seen := make(map[uint64]bool, len(st.Communities))
+	for _, c := range st.Communities {
+		if seen[c.Lineage] {
+			return fmt.Errorf("evolution: restore: duplicate lineage %d", c.Lineage)
+		}
+		seen[c.Lineage] = true
+	}
+	t.epoch, t.baseline = st.Epoch, st.Epoch
+	t.journal = t.journal[:0]
+	t.cur = st.Communities
+	clear(t.lineages)
+	for _, c := range st.Communities {
+		t.lineages[c.Lineage] = &lineage{born: c.Born, alive: true, size: len(c.Members), last: st.Epoch}
+	}
+	return nil
+}

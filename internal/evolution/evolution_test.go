@@ -1,0 +1,331 @@
+package evolution
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func r(lo, hi uint32) []uint32 {
+	m := make([]uint32, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		m = append(m, v)
+	}
+	return m
+}
+
+// kindsOf maps lineage -> kind for one Advance result.
+func kindsOf(t *testing.T, evs []Event) map[uint64]Kind {
+	t.Helper()
+	out := make(map[uint64]Kind, len(evs))
+	for _, ev := range evs {
+		if _, dup := out[ev.Lineage]; dup {
+			t.Fatalf("lineage %d got two events in one epoch: %v", ev.Lineage, evs)
+		}
+		out[ev.Lineage] = ev.Kind
+	}
+	return out
+}
+
+func countKinds(evs []Event) map[Kind]int {
+	out := map[Kind]int{}
+	for _, ev := range evs {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+func mustAdvance(t *testing.T, tr *Tracker, epoch uint64, comms [][]uint32) []Event {
+	t.Helper()
+	evs, err := tr.Advance(epoch, comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func TestBasicLifecycle(t *testing.T) {
+	tr := New(Config{Depth: 16})
+	tr.Rebase(0, [][]uint32{r(0, 6), r(10, 16)})
+	l0 := tr.Communities()[0].Lineage
+	l1 := tr.Communities()[1].Lineage
+	if l0 == l1 {
+		t.Fatal("distinct communities share a lineage")
+	}
+
+	// Epoch 1: c0 grows, c1 continues, a third is born.
+	evs := mustAdvance(t, tr, 1, [][]uint32{r(0, 8), r(10, 16), r(20, 25)})
+	kinds := kindsOf(t, evs)
+	if kinds[l0] != Grow {
+		t.Errorf("l0 kind = %q, want grow", kinds[l0])
+	}
+	if kinds[l1] != Continue {
+		t.Errorf("l1 kind = %q, want continue", kinds[l1])
+	}
+	if n := countKinds(evs)[Birth]; n != 1 {
+		t.Errorf("births = %d, want 1", n)
+	}
+	l2 := tr.Communities()[2].Lineage
+	if tr.Communities()[2].Born != 1 {
+		t.Errorf("born epoch = %d, want 1", tr.Communities()[2].Born)
+	}
+
+	// Epoch 2: c0 shrinks, c2 dies.
+	evs = mustAdvance(t, tr, 2, [][]uint32{r(0, 6), r(10, 16)})
+	kinds = kindsOf(t, evs)
+	if kinds[l0] != Shrink {
+		t.Errorf("l0 kind = %q, want shrink", kinds[l0])
+	}
+	if kinds[l2] != Death {
+		t.Errorf("l2 kind = %q, want death", kinds[l2])
+	}
+	if got := tr.Communities()[0].Lineage; got != l0 {
+		t.Errorf("lineage drifted across epochs: %d != %d", got, l0)
+	}
+	if tr.LiveLineages() != 2 {
+		t.Errorf("live lineages = %d, want 2", tr.LiveLineages())
+	}
+}
+
+func TestMergeTwoIntoOne(t *testing.T) {
+	tr := New(Config{Depth: 16})
+	tr.Rebase(0, [][]uint32{r(0, 4), r(4, 8)})
+	l0 := tr.Communities()[0].Lineage
+	l1 := tr.Communities()[1].Lineage
+
+	evs := mustAdvance(t, tr, 1, [][]uint32{r(0, 8)})
+	if len(evs) != 2 {
+		t.Fatalf("events = %v, want survivor + absorbed", evs)
+	}
+	// Equal overlap: the lower previous index survives.
+	if got := tr.Communities()[0].Lineage; got != l0 {
+		t.Errorf("survivor lineage = %d, want %d (lower index wins ties)", got, l0)
+	}
+	surv, abs := evs[0], evs[1]
+	if surv.Kind != Merge || surv.Lineage != l0 || !reflect.DeepEqual(surv.Related, []uint64{l1}) {
+		t.Errorf("survivor event = %+v", surv)
+	}
+	if abs.Kind != Merge || abs.Lineage != l1 || !reflect.DeepEqual(abs.Related, []uint64{l0}) || abs.Size != 0 {
+		t.Errorf("absorbed event = %+v", abs)
+	}
+	if surv.Overlap != 0.5 {
+		t.Errorf("survivor overlap = %g, want 0.5", surv.Overlap)
+	}
+}
+
+func TestSplitOneIntoTwo(t *testing.T) {
+	tr := New(Config{Depth: 16})
+	tr.Rebase(0, [][]uint32{r(0, 8)})
+	l0 := tr.Communities()[0].Lineage
+
+	evs := mustAdvance(t, tr, 1, [][]uint32{r(0, 4), r(4, 8)})
+	if len(evs) != 2 {
+		t.Fatalf("events = %v, want keeper + part", evs)
+	}
+	keeper, part := evs[0], evs[1]
+	lPart := tr.Communities()[1].Lineage
+	if keeper.Kind != Split || keeper.Lineage != l0 || !reflect.DeepEqual(keeper.Related, []uint64{lPart}) {
+		t.Errorf("keeper event = %+v", keeper)
+	}
+	if part.Kind != Split || part.Lineage == l0 || !reflect.DeepEqual(part.Related, []uint64{l0}) || part.PrevSize != 0 {
+		t.Errorf("part event = %+v", part)
+	}
+	// The first part (lower new index) keeps the lineage on equal overlap.
+	if got := tr.Communities()[0].Lineage; got != l0 {
+		t.Errorf("keeper lineage = %d, want %d", got, l0)
+	}
+}
+
+// A merge and a split of unrelated lineages classify independently within
+// one epoch, each lineage receiving exactly one event.
+func TestSimultaneousMergeAndSplit(t *testing.T) {
+	tr := New(Config{Depth: 16})
+	tr.Rebase(0, [][]uint32{r(0, 4), r(4, 8), r(10, 18)})
+	l0 := tr.Communities()[0].Lineage
+	l1 := tr.Communities()[1].Lineage
+	l2 := tr.Communities()[2].Lineage
+
+	evs := mustAdvance(t, tr, 1, [][]uint32{r(0, 8), r(10, 14), r(14, 18)})
+	kinds := kindsOf(t, evs)
+	if kinds[l0] != Merge || kinds[l1] != Merge || kinds[l2] != Split {
+		t.Fatalf("kinds = %v (l0=%d l1=%d l2=%d)", kinds, l0, l1, l2)
+	}
+	if got := countKinds(evs); got[Merge] != 2 || got[Split] != 2 || len(evs) != 4 {
+		t.Fatalf("kind counts = %v, events = %v", got, evs)
+	}
+	cur := tr.Communities()
+	if cur[0].Lineage != l0 || cur[1].Lineage != l2 {
+		t.Errorf("surviving lineages = %d, %d; want %d, %d", cur[0].Lineage, cur[1].Lineage, l0, l2)
+	}
+}
+
+// Identical overlap against two predecessors resolves to the lower
+// previous index, every run.
+func TestIdenticalOverlapTieDeterministic(t *testing.T) {
+	for run := 0; run < 20; run++ {
+		tr := New(Config{Depth: 16})
+		tr.Rebase(0, [][]uint32{r(0, 4), r(4, 8)})
+		l0 := tr.Communities()[0].Lineage
+		// {0,1,4,5} overlaps both predecessors at exactly 2/6.
+		mustAdvance(t, tr, 1, [][]uint32{{0, 1, 4, 5}})
+		if got := tr.Communities()[0].Lineage; got != l0 {
+			t.Fatalf("run %d: tie resolved to %d, want %d (lower previous index)", run, got, l0)
+		}
+	}
+}
+
+// Overlap below MinJaccard is no match: the old community dies and the
+// new one is born, rather than continuing the lineage.
+func TestMinJaccardFilter(t *testing.T) {
+	tr := New(Config{Depth: 16, MinJaccard: 0.5})
+	tr.Rebase(0, [][]uint32{r(0, 10)})
+	evs := mustAdvance(t, tr, 1, [][]uint32{append(r(0, 3), r(20, 27)...)}) // Jaccard 3/17
+	got := countKinds(evs)
+	if got[Birth] != 1 || got[Death] != 1 || len(evs) != 2 {
+		t.Errorf("kinds = %v, want one birth + one death", got)
+	}
+}
+
+func TestAdvanceRejectsEpochGap(t *testing.T) {
+	tr := New(Config{Depth: 4})
+	tr.Rebase(5, nil)
+	if _, err := tr.Advance(7, nil); err == nil {
+		t.Error("Advance(7) from epoch 5 succeeded, want error")
+	}
+	if _, err := tr.Advance(5, nil); err == nil {
+		t.Error("Advance(5) from epoch 5 succeeded, want error")
+	}
+}
+
+func TestJournalHorizonAndPaging(t *testing.T) {
+	tr := New(Config{Depth: 3})
+	tr.Rebase(0, [][]uint32{r(0, 4)})
+	for e := uint64(1); e <= 6; e++ {
+		comms := [][]uint32{r(0, 4)}
+		if e%2 == 0 {
+			comms = [][]uint32{r(0, 5)}
+		}
+		mustAdvance(t, tr, e, comms)
+	}
+	oldest, newest := tr.Window()
+	if oldest != 3 || newest != 6 {
+		t.Fatalf("window = (%d, %d), want (3, 6)", oldest, newest)
+	}
+	if _, st := tr.Events(2, 10); st != FeedGone {
+		t.Error("cursor behind horizon not reported gone")
+	}
+	evs, st := tr.Events(3, 10)
+	if st != FeedOK || len(evs) != 3 {
+		t.Errorf("Events(3) = %v (%d events), want 3", evs, len(evs))
+	}
+	// Paging: one epoch at a time.
+	evs, st = tr.Events(3, 1)
+	if st != FeedOK || len(evs) != 1 || evs[0].Epoch != 4 {
+		t.Errorf("Events(3, max 1) = %v", evs)
+	}
+	// Caught-up cursor: empty, not gone.
+	evs, st = tr.Events(6, 10)
+	if st != FeedOK || len(evs) != 0 {
+		t.Errorf("Events(6) = %v, %v; want empty ok", evs, st)
+	}
+}
+
+func TestHistoryBoundingAndEviction(t *testing.T) {
+	tr := New(Config{Depth: 2, HistoryDepth: 3})
+	tr.Rebase(0, [][]uint32{r(0, 4), r(10, 14)})
+	l0 := tr.Communities()[0].Lineage
+	l1 := tr.Communities()[1].Lineage
+
+	// l1 dies at epoch 1; l0 keeps evolving.
+	mustAdvance(t, tr, 1, [][]uint32{r(0, 5)})
+	for e := uint64(2); e <= 6; e++ {
+		size := uint32(4 + e%3)
+		mustAdvance(t, tr, e, [][]uint32{r(0, size)})
+	}
+	h, ok := tr.History(l0)
+	if !ok || !h.Alive {
+		t.Fatalf("live lineage history missing: %+v", h)
+	}
+	if len(h.Events) != 3 {
+		t.Errorf("history length = %d, want bounded to 3", len(h.Events))
+	}
+	if h.Born != 0 {
+		t.Errorf("born = %d, want 0", h.Born)
+	}
+	if h.Events[len(h.Events)-1].Epoch != 6 {
+		t.Errorf("last history event epoch = %d, want 6", h.Events[len(h.Events)-1].Epoch)
+	}
+	// l1 died at epoch 1, far behind the Depth=2 horizon: evicted.
+	if _, ok := tr.History(l1); ok {
+		t.Error("dead lineage behind the horizon still resolvable")
+	}
+}
+
+// Save/Restore round-trips the matcher baseline: a restored tracker
+// replaying the same community stream emits byte-identical events and
+// states.
+func TestSaveRestoreEquivalence(t *testing.T) {
+	a := New(Config{Depth: 8})
+	a.Rebase(0, [][]uint32{r(0, 6), r(10, 16)})
+	mustAdvance(t, a, 1, [][]uint32{r(0, 8), r(10, 16)})
+	mustAdvance(t, a, 2, [][]uint32{r(0, 8), r(10, 13), r(13, 16)})
+	img, err := a.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := New(Config{Depth: 8})
+	if err := b.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch() != 2 {
+		t.Fatalf("restored epoch = %d, want 2", b.Epoch())
+	}
+	for e := uint64(3); e <= 5; e++ {
+		comms := [][]uint32{r(0, uint32(4+e)), r(10, 13), r(13, 16)}
+		evA := mustAdvance(t, a, e, comms)
+		evB := mustAdvance(t, b, e, comms)
+		if !reflect.DeepEqual(evA, evB) {
+			t.Fatalf("epoch %d events diverge:\n a=%v\n b=%v", e, evA, evB)
+		}
+	}
+	sa, _ := a.Save()
+	sb, _ := b.Save()
+	if !bytes.Equal(sa, sb) {
+		t.Errorf("states diverge after identical replay:\n a=%s\n b=%s", sa, sb)
+	}
+}
+
+func TestRestoreRejectsBadState(t *testing.T) {
+	tr := New(Config{Depth: 4})
+	if err := tr.Restore([]byte("{")); err == nil {
+		t.Error("corrupt state accepted")
+	}
+	if err := tr.Restore([]byte(`{"v":2,"epoch":1}`)); err == nil {
+		t.Error("future state version accepted")
+	}
+	if err := tr.Restore([]byte(`{"v":1,"epoch":1,"communities":[{"lineage":7,"members":[1]},{"lineage":7,"members":[2]}]}`)); err == nil {
+		t.Error("duplicate lineage accepted")
+	}
+}
+
+// Two independent trackers fed the same stream assign identical lineage
+// IDs — the property writer/follower equivalence rests on.
+func TestIndependentReplayAgrees(t *testing.T) {
+	streams := [][][]uint32{
+		{r(0, 4), r(4, 8), r(10, 18)},
+		{r(0, 8), r(10, 14), r(14, 18)},
+		{r(0, 8), r(10, 14), r(14, 18), r(20, 26)},
+		{r(0, 3), r(10, 14), r(14, 18)},
+	}
+	a, b := New(Config{Depth: 8}), New(Config{Depth: 8})
+	a.Rebase(0, streams[0])
+	b.Rebase(0, streams[0])
+	for e := 1; e < len(streams); e++ {
+		evA := mustAdvance(t, a, uint64(e), streams[e])
+		evB := mustAdvance(t, b, uint64(e), streams[e])
+		if !reflect.DeepEqual(evA, evB) {
+			t.Fatalf("epoch %d: independent replays diverge", e)
+		}
+	}
+}

@@ -10,7 +10,12 @@ import (
 // is read-only; writes belong to the writer.
 //
 //	GET /communities   the current local snapshot's cover with its epoch
+//	                   (?epoch=E historical reads with EvolutionDepth > 0)
 //	GET /vertex/{v}    membership and degree of one vertex
+//	GET /events        community evolution events after ?from=E
+//	                   (EvolutionDepth > 0; byte-compatible with the
+//	                   writer's stream because the same diffs are replayed)
+//	GET /community/{id}/history  one lineage's retained life-cycle
 //	GET /stats         inner service counters plus follower_epoch,
 //	                   writer_epoch, lag_batches, catchup_total,
 //	                   rebootstraps and replication_error
@@ -31,6 +36,8 @@ func (f *Follower) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /communities", f.delegate)
 	mux.HandleFunc("GET /vertex/{v}", f.delegate)
+	mux.HandleFunc("GET /events", f.delegate)
+	mux.HandleFunc("GET /community/{id}/history", f.delegate)
 	mux.HandleFunc("GET /stats", f.handleStats)
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
 	// The registry and trace ring are shared with the inner service, and

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -14,6 +15,26 @@ import (
 	"rslpa/internal/obs"
 	"rslpa/internal/stream"
 )
+
+// syncBuf is a mutex-guarded log sink: the follower's tail loop keeps
+// logging (error/recovery transitions) after the test's wait conditions
+// are met, so reading an unsynchronized bytes.Buffer would race.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 // A follower's /metrics exposition lints clean across a re-bootstrap: its
 // own rslpa_replica_* families, the inner read service's rslpa_stream_*
@@ -43,7 +64,7 @@ func TestFollowerMetricsAcrossRebootstrap(t *testing.T) {
 	}
 	applyStream(t, w, batches[:1])
 
-	var logBuf bytes.Buffer
+	var logBuf syncBuf
 	reg := obs.NewRegistry()
 	f, err := New(Options{
 		WriterURL: front.URL, PollInterval: 2 * time.Millisecond,

@@ -58,6 +58,14 @@ type Options struct {
 	// FeedMax is the number of batches requested per feed poll.
 	// Default 64.
 	FeedMax int
+	// EvolutionDepth, when > 0, enables the evolution tier on the replayed
+	// service (GET /events, /community/{id}/history, /communities?epoch=E).
+	// The bootstrap additionally fetches the writer's GET /evolution/state
+	// so lineage IDs — which are content-derived from the epoch a lineage
+	// was born at — match the writer's, and the replayed diffs emit the
+	// byte-identical event stream. Should match the writer's depth so the
+	// two journals cover the same window.
+	EvolutionDepth int
 	// Extraction configures snapshot community extraction. It should match
 	// the writer's so GET /communities answers agree (label matrices agree
 	// regardless — determinism pins them to the feed, not to this).
@@ -203,53 +211,121 @@ func New(opts Options) (*Follower, error) {
 	return f, nil
 }
 
-// bootstrap fetches the writer's checkpoint and builds a fresh replay
-// generation at its epoch.
+// bootstrap fetches the writer's checkpoint (and, with EvolutionDepth
+// set, its evolution state) and builds a fresh replay generation at its
+// epoch. The two GETs are not atomic on the writer — a checkpoint refresh
+// can land between them — so epoch-mismatch attempts are retried a few
+// times before giving up.
 func (f *Follower) bootstrap() (*replayState, error) {
+	const attempts = 3
+	var err error
+	for i := 0; i < attempts; i++ {
+		var rs *replayState
+		var retry bool
+		rs, retry, err = f.bootstrapOnce()
+		if err == nil {
+			return rs, nil
+		}
+		if !retry {
+			return nil, err
+		}
+		f.log.Warn("replica: bootstrap raced a checkpoint refresh, retrying", "error", err)
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", attempts, err)
+}
+
+// bootstrapOnce performs one bootstrap attempt. retry reports that the
+// failure is a benign race between the checkpoint and evolution-state
+// fetches (the writer refreshed in between) and the caller should try
+// again.
+func (f *Follower) bootstrapOnce() (rs *replayState, retry bool, err error) {
 	resp, err := f.opts.Client.Get(f.opts.WriterURL + "/checkpoint")
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /checkpoint: %s: %s", resp.Status, bodyText(body))
+		return nil, false, fmt.Errorf("GET /checkpoint: %s: %s", resp.Status, bodyText(body))
 	}
 	epoch, err := strconv.ParseUint(resp.Header.Get(stream.CheckpointEpochHeader), 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint epoch header: %w", err)
+		return nil, false, fmt.Errorf("checkpoint epoch header: %w", err)
+	}
+	var evoState []byte
+	if f.opts.EvolutionDepth > 0 {
+		evoState, retry, err = f.fetchEvolutionState(epoch)
+		if err != nil {
+			return nil, retry, err
+		}
 	}
 	ck, err := core.ReadCheckpoint(bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	st, err := ck.BuildState()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if st.Epoch() != epoch {
-		return nil, fmt.Errorf("checkpoint epoch %d does not match header %d", st.Epoch(), epoch)
+		return nil, false, fmt.Errorf("checkpoint epoch %d does not match header %d", st.Epoch(), epoch)
 	}
 	// The inner service never flushes on its own — MaxBatch and
 	// FlushInterval are effectively infinite — so the tail loop's
 	// Submit+Drain per feed batch maps one feed batch to exactly one
 	// epoch, keeping follower epochs aligned with the writer's.
 	svc, err := stream.New(seqDetector{st}, stream.Options{
-		MaxBatch:      1 << 30,
-		FlushInterval: 24 * time.Hour,
-		Extraction:    f.opts.Extraction,
-		BaseEpoch:     st.Epoch(),
-		Obs:           f.opts.Obs,
-		Trace:         f.opts.Trace,
-		Logger:        f.opts.Logger,
+		MaxBatch:       1 << 30,
+		FlushInterval:  24 * time.Hour,
+		Extraction:     f.opts.Extraction,
+		BaseEpoch:      st.Epoch(),
+		EvolutionDepth: f.opts.EvolutionDepth,
+		EvolutionState: evoState,
+		Obs:            f.opts.Obs,
+		Trace:          f.opts.Trace,
+		Logger:         f.opts.Logger,
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return &replayState{svc: svc, h: svc.Handler()}, nil
+	return &replayState{svc: svc, h: svc.Handler()}, false, nil
+}
+
+// fetchEvolutionState fetches the writer's serialized evolution tracker
+// so replayed lineage IDs match the writer's. A 404 is tolerated — the
+// writer may not track evolution, or may not journal — and the local
+// tracker rebases fresh (lineage IDs then diverge from the writer's;
+// events and windows still work). retry reports an epoch mismatch with
+// the checkpoint just fetched: a refresh raced between the two GETs.
+func (f *Follower) fetchEvolutionState(ckptEpoch uint64) (state []byte, retry bool, err error) {
+	resp, err := f.opts.Client.Get(f.opts.WriterURL + "/evolution/state")
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		f.log.Warn("replica: writer does not serve /evolution/state; starting fresh lineage tracking")
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("GET /evolution/state: %s: %s", resp.Status, bodyText(body))
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(stream.CheckpointEpochHeader), 10, 64)
+	if err != nil {
+		return nil, false, fmt.Errorf("evolution state epoch header: %w", err)
+	}
+	if epoch != ckptEpoch {
+		return nil, true, fmt.Errorf("evolution state at epoch %d, checkpoint at %d", epoch, ckptEpoch)
+	}
+	return body, false, nil
 }
 
 // bodyText renders an HTTP error body for diagnostics, bounded.

@@ -37,6 +37,10 @@ const maxEditBody = 16 << 20
 //	                   from a writer that is losing durability)
 //	GET  /feed         replication feed for followers (see feed.go)
 //	GET  /checkpoint   bootstrap checkpoint for followers (see feed.go)
+//	GET  /events       community evolution events after ?from=E
+//	                   (see evolution.go; EvolutionDepth > 0)
+//	GET  /community/{id}/history  one lineage's retained life-cycle
+//	GET  /evolution/state  serialized evolution baseline for followers
 //	GET  /metrics      Prometheus text exposition (Options.Obs set)
 //	GET  /debug/batches  recent + slowest per-batch pipeline traces
 //	                   (Options.Trace set)
@@ -88,6 +92,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /feed", s.handleFeed)
 	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /community/{id}/history", s.observed(s.handleCommunityHistory))
+	mux.HandleFunc("GET /evolution/state", s.handleEvolutionState)
 	if s.opts.Obs != nil {
 		mux.Handle("GET /metrics", s.opts.Obs.Handler())
 	}
@@ -180,6 +187,35 @@ func (s *Service) handleEdits(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleCommunities(w http.ResponseWriter, r *http.Request) {
 	sn := s.Snapshot()
+	if es := r.URL.Query().Get("epoch"); es != "" {
+		// Historical read over the evolution tier's retained snapshot
+		// window: behind the window is 410 Gone (like /feed and /events),
+		// ahead of the head is 404.
+		if s.evo == nil {
+			writeError(w, http.StatusNotFound, errors.New("?epoch requires evolution tracking (EvolutionDepth > 0)"))
+			return
+		}
+		epoch, err := strconv.ParseUint(es, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("epoch: %w", err))
+			return
+		}
+		hist, oldest, newest := s.evo.snapshotAt(epoch)
+		switch {
+		case hist != nil:
+			sn = hist
+		case epoch < oldest:
+			writeJSON(w, http.StatusGone, map[string]any{
+				"error":        fmt.Sprintf("epoch %d is behind the retained snapshot window", epoch),
+				"oldest_epoch": oldest,
+				"writer_epoch": newest,
+			})
+			return
+		default:
+			writeError(w, http.StatusNotFound, fmt.Errorf("epoch %d not published yet (head is %d)", epoch, newest))
+			return
+		}
+	}
 	res, err := sn.Communities()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)

@@ -144,6 +144,22 @@ type Options struct {
 	// from the latest checkpoint always starts inside the journal horizon.
 	// Zero disables journaling (the feed endpoints answer 404).
 	JournalDepth int
+	// EvolutionDepth, when positive, enables the temporal evolution tier:
+	// after every published snapshot the service diffs its community set
+	// against the previous epoch's (stable Jaccard matching with
+	// deterministic tie-breaks and content-derived lineage IDs), retains
+	// the last EvolutionDepth epochs of classified transition events and
+	// historical snapshots, and serves them as GET /events,
+	// GET /community/{id}/history and GET /communities?epoch=E. Zero
+	// disables the tier (the evolution routes answer 404).
+	EvolutionDepth int
+	// EvolutionState, when non-nil, resumes the evolution tracker from a
+	// serialized baseline (GET /evolution/state) captured at exactly
+	// BaseEpoch — how a follower adopts its writer's lineage assignments.
+	// When nil and CheckpointPath is set, the checkpoint's .evolution
+	// sidecar is loaded instead (writer restart); a missing or mismatched
+	// sidecar rebases lineages fresh.
+	EvolutionState []byte
 	// Obs, when non-nil, registers the service's metric families in the
 	// registry (latency histograms on the batch path, read-through
 	// counters over Stats) and serves it at GET /metrics. Nil disables
@@ -236,6 +252,14 @@ type Stats struct {
 	LastLevelsSkipped int    `json:"last_levels_skipped"`
 	LastRoundsRun     int    `json:"last_rounds_run"`
 
+	// Temporal evolution diff latency (EvolutionDepth > 0): the wall time
+	// the last batch spent diffing the published snapshot's communities
+	// against the previous epoch's, and the cumulative total — the
+	// yardstick for the "<10% of steady-state publish latency" budget.
+	// Omitted as zero when the tier is off.
+	LastEvolutionMicros  int64 `json:"last_evolution_micros,omitempty"`
+	TotalEvolutionMicros int64 `json:"total_evolution_micros,omitempty"`
+
 	// Cumulative BSP engine wire traffic (cluster.Stats, including the
 	// initial propagation), present when the detector runs on the cluster
 	// engine (Workers > 1) and implements EngineStatsProvider; omitted as
@@ -308,13 +332,20 @@ type Service struct {
 	// Replication journal (JournalDepth > 0): the last JournalDepth applied
 	// canonical batches plus an in-memory checkpoint, written only by the
 	// maintenance goroutine and read by the feed/checkpoint HTTP handlers.
-	// sinceMemCkpt is maintenance-goroutine-private.
+	// sinceMemCkpt is maintenance-goroutine-private. evoCkptData is the
+	// serialized evolution baseline captured at ckptEpoch (nil without the
+	// evolution tier), guarded by jmu so GET /checkpoint and
+	// GET /evolution/state always serve images of one epoch.
 	jmu          sync.RWMutex
 	journal      []feedBatch
 	journalEpoch uint64 // epoch of the newest journaled batch (BaseEpoch when empty)
 	ckptData     []byte // serialized detector at ckptEpoch
 	ckptEpoch    uint64
+	evoCkptData  []byte
 	sinceMemCkpt int
+
+	// Temporal evolution tier (EvolutionDepth > 0); nil when disabled.
+	evo *evoTier
 }
 
 // feedBatch is one journaled canonical batch: the edits that advanced the
@@ -374,6 +405,11 @@ func New(det Detector, opts Options) (*Service, error) {
 	s.st.Vertices = sn0.NumVertices()
 	s.st.Edges = sn0.NumEdges()
 	s.st.SnapshotShards = sn0.NumShards()
+	if opts.EvolutionDepth > 0 {
+		if err := s.initEvolution(sn0); err != nil {
+			return nil, err
+		}
+	}
 	if opts.JournalDepth > 0 {
 		// Followers bootstrap from the in-memory checkpoint, so it must
 		// exist before the first feed request can arrive.
@@ -410,9 +446,19 @@ func (s *Service) refreshMemCheckpoint(epoch uint64) error {
 	if err := s.det.Save(&buf); err != nil {
 		return err
 	}
+	// Capture the evolution baseline in the same refresh so the two
+	// bootstrap images (GET /checkpoint, GET /evolution/state) always
+	// share an epoch; nil when the tier is off or latched.
+	var evoData []byte
+	if s.evo != nil {
+		if data, err := s.evo.saveState(); err == nil {
+			evoData = data
+		}
+	}
 	s.jmu.Lock()
 	s.ckptData = buf.Bytes()
 	s.ckptEpoch = epoch
+	s.evoCkptData = evoData
 	s.jmu.Unlock()
 	return nil
 }
@@ -728,6 +774,15 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 	pub := time.Since(p0)
 	s.snap.Store(next)
 
+	// Temporal evolution: diff the just-published snapshot's communities
+	// against the previous epoch's, synchronously, so the event journal
+	// stays epoch-contiguous and the checkpoint capture below sees the
+	// tracker at exactly this epoch.
+	var evoDur time.Duration
+	if s.evo != nil {
+		evoDur = s.advanceEvolution(next)
+	}
+
 	s.mu.Lock()
 	// The epoch is recorded under the same critical section as the batch
 	// counters so Stats never reports a torn Epoch/Batches pair.
@@ -753,6 +808,10 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 	s.st.RoundsRun += uint64(stats.RoundsRun)
 	s.st.LastLevelsSkipped = stats.LevelsSkipped
 	s.st.LastRoundsRun = stats.RoundsRun
+	if s.evo != nil {
+		s.st.LastEvolutionMicros = evoDur.Microseconds()
+		s.st.TotalEvolutionMicros += evoDur.Microseconds()
+	}
 	if s.engine != nil {
 		s.st.EngineRounds = engCum[0]
 		s.st.EngineMessages = engCum[1]
@@ -816,7 +875,7 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 	}
 	if s.trace != nil {
 		s.trace.Record(s.batchTrace(next, flushStart, len(batch), coalesceDur,
-			dur, pub, journalDur, ckptDur, stats, engDelta))
+			dur, pub, journalDur, ckptDur, evoDur, stats, engDelta))
 	}
 	return flushErr
 }
@@ -827,7 +886,7 @@ func (s *Service) flush(co *graph.Coalescer, sinceCkpt *int) error {
 // stages, so they sum to the total up to the untimed residue (stats
 // bookkeeping, snapshot pointer swap).
 func (s *Service) batchTrace(next *Snapshot, flushStart time.Time, edits int,
-	coalesce, update, publish, journal, ckpt time.Duration,
+	coalesce, update, publish, journal, ckpt, evo time.Duration,
 	stats core.UpdateStats, engDelta [3]int64) obs.BatchTrace {
 	updAttrs := map[string]int64{
 		"rounds_run":     int64(stats.RoundsRun),
@@ -853,6 +912,9 @@ func (s *Service) batchTrace(next *Snapshot, flushStart time.Time, edits int,
 	}
 	if ckpt > 0 {
 		spans = append(spans, obs.Span{Name: "checkpoint", Micros: ckpt.Microseconds()})
+	}
+	if evo > 0 {
+		spans = append(spans, obs.Span{Name: "evolution", Micros: evo.Microseconds()})
 	}
 	return obs.BatchTrace{
 		Epoch:       next.Epoch(),
@@ -900,6 +962,14 @@ func (s *Service) writeCheckpoint() error {
 	}
 	if err := syncDir(dir); err != nil {
 		return s.checkpointErr(err)
+	}
+	// Persist the evolution baseline beside the detector checkpoint (same
+	// epoch: both are written by the maintenance goroutine after the
+	// epoch's diff), so a restarted writer resumes lineage assignment.
+	if s.evo != nil {
+		if err := s.writeEvolutionSidecar(); err != nil {
+			return s.checkpointErr(fmt.Errorf("evolution sidecar: %w", err))
+		}
 	}
 	s.mu.Lock()
 	s.st.Checkpoints++

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# check_docs.sh — the CI docs gate.
+#
+# Fails when (a) a markdown file links to an intra-repo path that does
+# not exist, or (b) a non-main package is missing its "// Package <name>"
+# doc comment. Both are drift detectors: the README and docs/ reference
+# files, routes and packages by path, and those references rot silently
+# without a check.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- intra-repo markdown links ---
+# Pull every inline "](target)" out of the tracked markdown files.
+# External links (with a scheme) and pure-fragment links are skipped;
+# fragments are stripped before the existence check; a leading slash is
+# repo-root-relative.
+for md in $(git ls-files '*.md'); do
+  case $md in
+    # Quotes third-party material verbatim; its links are not ours.
+    SNIPPETS.md) continue ;;
+  esac
+  dir=$(dirname "$md")
+  for target in $(grep -o ']([^)]*)' "$md" | sed 's/^](//; s/)$//'); do
+    case $target in
+      *://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    case $path in
+      /*) resolved=.$path ;;
+      *) resolved=$dir/$path ;;
+    esac
+    if [ ! -e "$resolved" ]; then
+      echo "$md: broken link: $target"
+      fail=1
+    fi
+  done
+done
+
+# --- package doc comments ---
+# Every non-main package directory must have one file opening with the
+# conventional "// Package <name>" doc comment (what go doc surfaces).
+for dir in . internal/*; do
+  [ -d "$dir" ] || continue
+  ls "$dir"/*.go >/dev/null 2>&1 || continue
+  name=$(basename "$dir")
+  [ "$dir" = "." ] && name=rslpa
+  if ! grep -q "^// Package $name " "$dir"/*.go; then
+    echo "$dir: missing '// Package $name' doc comment"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check failed" >&2
+fi
+exit $fail

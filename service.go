@@ -41,6 +41,15 @@ type ServiceOptions struct {
 	// bootstrap and tail this writer. Clamped to at least CheckpointEvery;
 	// zero disables the feed.
 	JournalDepth int
+	// EvolutionDepth, when positive, tracks how communities evolve across
+	// epochs: after each publish the new snapshot's community set is
+	// diffed against the previous one (stable Jaccard matching), the
+	// changes are classified (birth, death, merge, split, grow, shrink,
+	// continue) under stable lineage IDs, and the last EvolutionDepth
+	// epochs of events are served over the HTTP handler as GET /events,
+	// GET /community/{id}/history and GET /communities?epoch=E. Zero
+	// disables evolution tracking.
+	EvolutionDepth int
 	// Logger, when non-nil, receives structured operational events
 	// (startup, flush and checkpoint failures, shutdown). Nil discards.
 	Logger *slog.Logger
@@ -106,6 +115,7 @@ func NewService(det *Detector, opts ServiceOptions) (*Service, error) {
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
 		JournalDepth:    opts.JournalDepth,
+		EvolutionDepth:  opts.EvolutionDepth,
 		Obs:             reg,
 		Trace:           ring,
 		Logger:          opts.Logger,
@@ -146,9 +156,12 @@ func (s *Service) Drain() error { return s.inner.Drain() }
 func (s *Service) Stats() ServiceStats { return s.inner.Stats() }
 
 // Handler returns the HTTP+JSON front end: POST /edits, GET /communities,
-// GET /vertex/{v}, GET /stats, GET /healthz, GET /metrics (Prometheus
-// text exposition), GET /debug/batches (per-batch pipeline traces) and
-// GET /version.
+// GET /vertex/{v}, GET /stats, GET /healthz, GET /readyz, GET /feed and
+// GET /checkpoint (JournalDepth > 0), GET /events, GET
+// /community/{id}/history and GET /evolution/state (EvolutionDepth > 0),
+// GET /metrics (Prometheus text exposition), GET /debug/batches
+// (per-batch pipeline traces) and GET /version. See docs/API.md for the
+// full reference.
 func (s *Service) Handler() http.Handler { return s.inner.Handler() }
 
 // DebugHandler returns the debug server intended for a separate, private

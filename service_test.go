@@ -16,6 +16,7 @@ import (
 
 	"rslpa"
 	"rslpa/internal/dynamic"
+	"rslpa/internal/evolution"
 	"rslpa/internal/replica"
 	"rslpa/internal/stream"
 )
@@ -814,4 +815,170 @@ func TestFollowerMatchesWriterEpochsAcrossRestart(t *testing.T) {
 		t.Fatalf("final follower state diverged from writer at epoch %d", e2)
 	}
 	requireSameLabels(t, maxID, sn.Labels, func(v uint32) []uint32 { return svc2.Snapshot().Labels(v) })
+}
+
+// fetchEventsPage GETs one /events page and returns the raw body next to
+// the decoded envelope (the raw bytes are what the equivalence pin
+// compares).
+func fetchEventsPage(t *testing.T, base string, from uint64, max int) ([]byte, []evolution.Event) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/events?from=%d&max=%d", base, from, max))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/events?from=%d: %d: %s", base, from, resp.StatusCode, body)
+	}
+	var env struct {
+		Events []evolution.Event `json:"events"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	return body, env.Events
+}
+
+// The evolution equivalence pin: a follower that bootstraps the writer's
+// evolution state and replays the writer's canonical batches must serve a
+// byte-identical GET /events stream — same kinds, same epochs, same
+// lineage IDs — even when 4 racing producers make the writer's batch
+// boundaries nondeterministic. The diff is a deterministic function of
+// the snapshot sequence, and the snapshot sequence is pinned by the feed.
+func TestFollowerEventsMatchWriter(t *testing.T) {
+	g := serviceGraph(t)
+	cfg := rslpa.Config{T: 30, Seed: 17}
+	det, err := rslpa.Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := rslpa.NewService(det, rslpa.ServiceOptions{
+		MaxBatch: 64, FlushInterval: time.Hour,
+		JournalDepth:   4096,
+		EvolutionDepth: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	writer := httptest.NewServer(svc.Handler())
+	defer writer.Close()
+
+	// Bootstrap the follower before producing, so it inherits the writer's
+	// epoch-0 lineage table from GET /evolution/state and then replays
+	// every diff the writer performs.
+	f, err := replica.New(replica.Options{
+		WriterURL: writer.URL, PollInterval: 2 * time.Millisecond,
+		RetryMin: time.Millisecond, RetryMax: 20 * time.Millisecond,
+		EvolutionDepth: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	follower := httptest.NewServer(f.Handler())
+	defer follower.Close()
+
+	// 4 concurrent producers race single-edit submits; batch composition
+	// is whatever the scheduler produced.
+	batches, err := dynamic.Stream(g.Clone(), 60, 6, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []rslpa.Edit
+	for _, b := range batches {
+		flat = append(flat, b...)
+	}
+	const producers = 4
+	per := (len(flat) + producers - 1) / producers
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		lo, hi := p*per, min((p+1)*per, len(flat))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(chunk []rslpa.Edit) {
+			defer wg.Done()
+			for _, e := range chunk {
+				if err := svc.Submit(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(flat[lo:hi])
+	}
+	wg.Wait()
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	head := svc.Stats().Epoch
+	if head == 0 {
+		t.Fatal("writer applied no batches")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for f.Stats().FollowerEpoch < head {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck: %+v", f.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Page both event journals with identical cursors; every page must be
+	// byte-identical, and the walk must reach the head.
+	var total int
+	for from := uint64(0); ; {
+		wb, wev := fetchEventsPage(t, writer.URL, from, 3)
+		fb, _ := fetchEventsPage(t, follower.URL, from, 3)
+		if string(wb) != string(fb) {
+			t.Fatalf("events page from=%d differs:\nwriter:   %s\nfollower: %s", from, wb, fb)
+		}
+		if len(wev) == 0 {
+			break
+		}
+		total += len(wev)
+		from = wev[len(wev)-1].Epoch
+	}
+	if total == 0 {
+		t.Fatal("no evolution events emitted over the run")
+	}
+
+	// Spot-check lineage histories through the same byte-equality lens.
+	_, wev := fetchEventsPage(t, writer.URL, 0, 1024)
+	checked := 0
+	seenLineage := map[uint64]bool{}
+	for _, ev := range wev {
+		if seenLineage[ev.Lineage] || checked >= 5 {
+			continue
+		}
+		seenLineage[ev.Lineage] = true
+		checked++
+		url := fmt.Sprintf("/community/%d/history", ev.Lineage)
+		wr, err := http.Get(writer.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wbody, _ := io.ReadAll(wr.Body)
+		wr.Body.Close()
+		fr, err := http.Get(follower.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fbody, _ := io.ReadAll(fr.Body)
+		fr.Body.Close()
+		if wr.StatusCode != http.StatusOK || fr.StatusCode != http.StatusOK {
+			t.Fatalf("history %s: writer %d, follower %d", url, wr.StatusCode, fr.StatusCode)
+		}
+		if string(wbody) != string(fbody) {
+			t.Fatalf("history %s differs:\nwriter:   %s\nfollower: %s", url, wbody, fbody)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no lineages to spot-check")
+	}
 }
